@@ -1,0 +1,161 @@
+//! Autocorrelation and dominant-period detection.
+//!
+//! §5.1 argues about time-scales: MPEG frames span "just under 7
+//! scheduling quanta", so "any scheduling mechanism attempting to use
+//! information from a single frame (as opposed to a single quanta)
+//! would need to examine at least 7 quanta". Autocorrelation of the
+//! per-quantum utilization makes that time-scale measurable: the first
+//! significant peak of the autocorrelation is the workload's dominant
+//! period.
+
+/// Normalised autocorrelation of `signal` at lags `0..=max_lag`.
+///
+/// Output `r[0] == 1` (for non-constant signals); `r[k]` is the Pearson
+/// correlation between the signal and itself shifted by `k`. Constant
+/// signals return all-zero (undefined correlation).
+pub fn autocorrelation(signal: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    let var: f64 = signal.iter().map(|x| (x - mean) * (x - mean)).sum();
+    let max_lag = max_lag.min(n.saturating_sub(1));
+    if var <= 1e-12 {
+        return vec![0.0; max_lag + 1];
+    }
+    (0..=max_lag)
+        .map(|k| {
+            let cov: f64 = (0..n - k)
+                .map(|i| (signal[i] - mean) * (signal[i + k] - mean))
+                .sum();
+            cov / var
+        })
+        .collect()
+}
+
+/// The fundamental period of `signal`: the *first* lag (≥ 2) where the
+/// autocorrelation has a local maximum exceeding `threshold`. `None`
+/// if nothing qualifies.
+///
+/// # Examples
+///
+/// ```
+/// use analysis::{dominant_period, square_wave};
+///
+/// let wave = square_wave(9, 1, 300);
+/// assert_eq!(dominant_period(&wave, 40, 0.3), Some(10));
+/// assert_eq!(dominant_period(&[0.5; 100], 40, 0.3), None);
+/// ```
+///
+/// First-peak (rather than global-max) semantics matter for real
+/// utilization traces: a perfectly periodic load whose period is not an
+/// integer number of quanta (MPEG's 66.67 ms frames) correlates even
+/// more strongly at the aligned super-period (3 frames = 20 quanta), and
+/// a global-max rule would report that instead of the fundamental.
+pub fn dominant_period(signal: &[f64], max_lag: usize, threshold: f64) -> Option<usize> {
+    let r = autocorrelation(signal, max_lag);
+    for k in 2..r.len().saturating_sub(1) {
+        let is_peak = r[k] > r[k - 1] && r[k] >= r[k + 1];
+        if is_peak && r[k] > threshold {
+            return Some(k);
+        }
+    }
+    None
+}
+
+/// The lag (≥ 2) with the globally strongest autocorrelation peak above
+/// `threshold` — the alignment super-period for quantum-misaligned
+/// loads.
+pub fn strongest_period(signal: &[f64], max_lag: usize, threshold: f64) -> Option<usize> {
+    let r = autocorrelation(signal, max_lag);
+    let mut best: Option<(usize, f64)> = None;
+    for k in 2..r.len().saturating_sub(1) {
+        let is_peak = r[k] > r[k - 1] && r[k] >= r[k + 1];
+        if is_peak && r[k] > threshold {
+            match best {
+                Some((_, v)) if v >= r[k] => {}
+                _ => best = Some((k, r[k])),
+            }
+        }
+    }
+    best.map(|(k, _)| k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::square_wave;
+
+    #[test]
+    fn lag_zero_is_one() {
+        let sig: Vec<f64> = (0..100).map(|i| ((i * 37) % 11) as f64).collect();
+        let r = autocorrelation(&sig, 10);
+        assert!((r[0] - 1.0).abs() < 1e-9);
+        for &v in &r {
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn square_wave_period_detected() {
+        let sig = square_wave(9, 1, 400);
+        assert_eq!(dominant_period(&sig, 40, 0.3), Some(10));
+        let sig7 = square_wave(5, 2, 400);
+        assert_eq!(dominant_period(&sig7, 40, 0.3), Some(7));
+    }
+
+    #[test]
+    fn constant_signal_has_no_period() {
+        let sig = vec![0.5; 100];
+        assert_eq!(dominant_period(&sig, 20, 0.3), None);
+        assert!(autocorrelation(&sig, 5).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn white_noise_has_no_period() {
+        // A fixed pseudo-random sequence with no periodic structure.
+        let mut x = 0x12345u64;
+        let sig: Vec<f64> = (0..500)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 40) as f64 / (1u64 << 24) as f64
+            })
+            .collect();
+        assert_eq!(dominant_period(&sig, 50, 0.3), None);
+    }
+
+    #[test]
+    fn strongest_period_prefers_the_biggest_peak() {
+        // A wave with period 10 also peaks at 20, 30, ...; the
+        // fundamental rule picks 10 and the strongest rule picks a
+        // multiple only if it truly correlates better.
+        let sig = square_wave(9, 1, 400);
+        assert_eq!(strongest_period(&sig, 40, 0.3), Some(10));
+    }
+
+    #[test]
+    fn sine_period_recovered() {
+        let period = 25.0;
+        let sig: Vec<f64> = (0..500)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / period).sin())
+            .collect();
+        let p = dominant_period(&sig, 60, 0.5).expect("periodic");
+        assert!((p as f64 - period).abs() <= 1.0, "p = {p}");
+    }
+
+    #[test]
+    fn empty_signal_is_graceful() {
+        assert!(autocorrelation(&[], 10).is_empty());
+        assert_eq!(dominant_period(&[], 10, 0.3), None);
+    }
+
+    #[test]
+    fn max_lag_clamped_to_signal_length() {
+        let sig = [1.0, 0.0, 1.0];
+        let r = autocorrelation(&sig, 100);
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! The AVG_N filter viewed as a linear system.
+//!
+//! §5.3: "By recursively expanding the `W_{t−1}` term ... this
+//! representation emerges: `W_t = Σ_k (1/(N+1)) (N/(N+1))^k U_{t−1−k}`",
+//! i.e. AVG_N convolves the utilization sequence with a decaying
+//! exponential kernel.
+
+/// The AVG_N impulse response at lag `k`:
+/// `w_k = (1/(N+1)) · (N/(N+1))^k`.
+pub fn avg_n_kernel(n: u32, len: usize) -> Vec<f64> {
+    let nf = n as f64;
+    let base = nf / (nf + 1.0);
+    let scale = 1.0 / (nf + 1.0);
+    (0..len).map(|k| scale * base.powi(k as i32)).collect()
+}
+
+/// The continuous-time decay rate `α` matching AVG_N at interval
+/// spacing `dt` seconds: the kernel decays by `N/(N+1)` per interval,
+/// so `α = −ln(N/(N+1)) / dt`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` (PAST has no continuous analogue: the kernel is a
+/// single impulse) or `dt <= 0`.
+pub fn avg_n_alpha(n: u32, dt: f64) -> f64 {
+    assert!(n > 0, "AVG_0 (PAST) has no exponential decay");
+    assert!(dt > 0.0, "interval must be positive");
+    let ratio = n as f64 / (n as f64 + 1.0);
+    -ratio.ln() / dt
+}
+
+/// Full discrete convolution of `signal` with `kernel`, truncated to
+/// `signal.len()` outputs (the filter is causal).
+pub fn convolve(signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; signal.len()];
+    for (i, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (k, &w) in kernel.iter().enumerate() {
+            if k > i {
+                break;
+            }
+            acc += w * signal[i - k];
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Runs the actual AVG_N recurrence over a utilization sequence and
+/// returns the weighted utilization after each input — the exact values
+/// an interval scheduler would see.
+pub fn avg_n_response(n: u32, inputs: &[f64]) -> Vec<f64> {
+    let nf = n as f64;
+    let mut w = 0.0;
+    inputs
+        .iter()
+        .map(|&u| {
+            w = (nf * w + u) / (nf + 1.0);
+            w
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_sums_to_one() {
+        for n in [1, 3, 9] {
+            let k = avg_n_kernel(n, 4_000);
+            let total: f64 = k.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "N={n}: sum = {total}");
+        }
+    }
+
+    #[test]
+    fn kernel_decays_geometrically() {
+        let k = avg_n_kernel(9, 10);
+        for w in k.windows(2) {
+            assert!((w[1] / w[0] - 0.9).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn recurrence_equals_convolution_with_kernel() {
+        // The paper's algebraic identity: the recurrence and the
+        // explicit kernel form produce the same weighted utilizations.
+        let inputs: Vec<f64> = (0..50).map(|i| ((i % 10) < 9) as u8 as f64).collect();
+        let rec = avg_n_response(3, &inputs);
+        let kernel = avg_n_kernel(3, inputs.len());
+        let conv = convolve(&inputs, &kernel);
+        for (a, b) in rec.iter().zip(conv.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn alpha_grows_as_n_shrinks() {
+        // Smaller N -> faster decay -> larger alpha ("as alpha gets
+        // smaller the higher frequencies are attenuated to a greater
+        // degree, but this corresponds to picking a larger value for N").
+        let a1 = avg_n_alpha(1, 0.01);
+        let a9 = avg_n_alpha(9, 0.01);
+        assert!(a1 > a9);
+    }
+
+    #[test]
+    fn convolve_with_unit_impulse_is_identity() {
+        let sig = [0.3, 0.7, 0.1];
+        let out = convolve(&sig, &[1.0]);
+        assert_eq!(out, sig);
+    }
+
+    #[test]
+    fn convolution_of_constant_input_settles_at_the_constant() {
+        let sig = vec![0.9; 200];
+        let k = avg_n_kernel(5, 200);
+        let out = convolve(&sig, &k);
+        assert!((out.last().unwrap() - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn response_stays_in_unit_interval_for_unit_inputs() {
+        let inputs: Vec<f64> = (0..1000).map(|i| ((i * 7) % 3 == 0) as u8 as f64).collect();
+        for v in avg_n_response(9, &inputs) {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no exponential decay")]
+    fn alpha_of_past_rejected() {
+        let _ = avg_n_alpha(0, 0.01);
+    }
+}

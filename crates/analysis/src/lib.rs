@@ -1,0 +1,33 @@
+//! Signal analysis behind the paper's §5.3 stability argument.
+//!
+//! The paper treats the processor workload as a 0/1 function of time and
+//! AVG_N as a linear filter whose impulse response is a decaying
+//! exponential. Three facts follow, each reproduced here:
+//!
+//! 1. the filter's kernel is `w_k = (1/(N+1)) (N/(N+1))^k`
+//!    ([`filter::avg_n_kernel`]), the discrete counterpart of
+//!    `x(t) = e^{-αt}u(t)`;
+//! 2. the continuous Fourier transform has magnitude
+//!    `|X(ω)| = 1/√(ω² + α²)` ([`fourier::decaying_exp_spectrum`]) —
+//!    it *attenuates but does not eliminate* high frequencies (Figure 6);
+//! 3. convolving the kernel with a rectangle wave (busy 9, idle 1 — the
+//!    idealized MPEG load) therefore leaves a sustained oscillation over
+//!    a wide utilization band (Figure 7), so AVG_N cannot settle even
+//!    when the system starts at the ideal speed
+//!    ([`oscillation::steady_state_band`]).
+//!
+//! [`window::moving_average`] provides the 100 ms smoothing of Figure 4,
+//! and [`fourier::dft_magnitudes`]/[`fourier::fft`] give spectra of measured
+//! utilization traces.
+
+pub mod autocorr;
+pub mod filter;
+pub mod fourier;
+pub mod oscillation;
+pub mod window;
+
+pub use autocorr::{autocorrelation, dominant_period, strongest_period};
+pub use filter::{avg_n_alpha, avg_n_kernel, avg_n_response, convolve};
+pub use fourier::{decaying_exp_spectrum, dft_magnitudes, fft, Complex};
+pub use oscillation::{steady_state_band, OscillationBand};
+pub use window::{moving_average, moving_average_series, square_wave};

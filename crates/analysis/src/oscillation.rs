@@ -1,0 +1,131 @@
+//! Oscillation metrics: does a filtered utilization signal settle?
+//!
+//! Figure 7 of the paper shows the result of AVG_3 filtering a 9-busy /
+//! 1-idle rectangle wave: instead of settling at the 0.9 mean, the
+//! weighted utilization oscillates "over a surprisingly wide range".
+//! [`steady_state_band`] quantifies that: the min/max band of the
+//! filter output after transients die out. A policy whose hysteresis
+//! band lies inside the oscillation band will flap between clock steps
+//! forever.
+
+/// The post-transient excursion band of a signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OscillationBand {
+    /// Smallest steady-state value.
+    pub min: f64,
+    /// Largest steady-state value.
+    pub max: f64,
+    /// Mean steady-state value.
+    pub mean: f64,
+}
+
+impl OscillationBand {
+    /// Peak-to-peak swing.
+    pub fn swing(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// True if the band straddles either hysteresis bound — the filter
+    /// output will repeatedly cross it and the governor will keep
+    /// changing speed.
+    pub fn destabilizes(&self, up: f64, down: f64) -> bool {
+        (self.min < up && up < self.max) || (self.min < down && down < self.max)
+    }
+}
+
+/// Computes the oscillation band of `signal`, ignoring the first
+/// `skip_transient` samples.
+///
+/// # Panics
+///
+/// Panics if nothing remains after the transient skip.
+pub fn steady_state_band(signal: &[f64], skip_transient: usize) -> OscillationBand {
+    let steady = &signal[skip_transient.min(signal.len())..];
+    assert!(
+        !steady.is_empty(),
+        "no steady-state samples left after skipping {skip_transient}"
+    );
+    let min = steady.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = steady.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mean = steady.iter().sum::<f64>() / steady.len() as f64;
+    OscillationBand { min, max, mean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::avg_n_response;
+    use crate::window::square_wave;
+
+    #[test]
+    fn constant_signal_has_zero_swing() {
+        let band = steady_state_band(&[0.5; 100], 10);
+        assert_eq!(band.swing(), 0.0);
+        assert_eq!(band.mean, 0.5);
+    }
+
+    #[test]
+    fn figure7_avg3_oscillates_over_a_wide_band() {
+        // AVG_3 filtering the 9-busy/1-idle wave: the paper's Figure 7
+        // shows sustained oscillation roughly between 0.7 and 1.0.
+        let wave = square_wave(9, 1, 800);
+        let out = avg_n_response(3, &wave);
+        let band = steady_state_band(&out, 100);
+        assert!(band.swing() > 0.15, "swing = {}", band.swing());
+        assert!(band.max > 0.95, "max = {}", band.max);
+        assert!(band.min < 0.80, "min = {}", band.min);
+        // The oscillation persists to the end: the last period still
+        // swings.
+        let last_period = steady_state_band(&out, out.len() - 10);
+        assert!(last_period.swing() > 0.15);
+    }
+
+    #[test]
+    fn oscillation_never_converges_even_started_at_ideal_speed() {
+        // The paper: "even if the system is started out at the ideal
+        // clock speed, AVG_N smoothing will still result in undesirable
+        // oscillation". Start the filter at the wave's mean.
+        let wave = square_wave(9, 1, 1000);
+        let nf = 3.0;
+        let mut w = 0.9; // ideal steady value
+        let out: Vec<f64> = wave
+            .iter()
+            .map(|&u| {
+                w = (nf * w + u) / (nf + 1.0);
+                w
+            })
+            .collect();
+        let band = steady_state_band(&out, 900);
+        assert!(band.swing() > 0.15, "swing = {}", band.swing());
+    }
+
+    #[test]
+    fn larger_n_narrows_but_does_not_eliminate_the_band() {
+        let wave = square_wave(9, 1, 2000);
+        let band3 = steady_state_band(&avg_n_response(3, &wave), 500);
+        let band9 = steady_state_band(&avg_n_response(9, &wave), 500);
+        assert!(band9.swing() < band3.swing());
+        assert!(band9.swing() > 0.02, "N=9 swing = {}", band9.swing());
+    }
+
+    #[test]
+    fn destabilization_test_matches_band_position() {
+        let band = OscillationBand {
+            min: 0.7,
+            max: 1.0,
+            mean: 0.9,
+        };
+        // Pering's 70%/50% bounds: the upper bound sits below the band,
+        // the lower below it too -> with this load the governor pegs
+        // high and stays (a different pathology).
+        assert!(!band.destabilizes(0.70, 0.50));
+        // The paper's 98%/93% bounds sit inside the band -> flapping.
+        assert!(band.destabilizes(0.98, 0.93));
+    }
+
+    #[test]
+    #[should_panic(expected = "no steady-state samples")]
+    fn overlong_transient_skip_panics() {
+        let _ = steady_state_band(&[1.0; 5], 5);
+    }
+}

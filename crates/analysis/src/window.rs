@@ -1,0 +1,124 @@
+//! Moving averages and test-signal generation.
+
+use sim_core::{SimTime, TimeSeries};
+
+/// Trailing moving average over `window` samples. Output `i` is the
+/// mean of inputs `max(0, i−window+1) ..= i` (shorter at the head).
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn moving_average(signal: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    let mut out = Vec::with_capacity(signal.len());
+    let mut acc = 0.0;
+    for i in 0..signal.len() {
+        acc += signal[i];
+        if i >= window {
+            acc -= signal[i - window];
+        }
+        let n = (i + 1).min(window);
+        out.push(acc / n as f64);
+    }
+    out
+}
+
+/// Applies [`moving_average`] to a [`TimeSeries`], keeping timestamps —
+/// e.g. turning the 10 ms utilization quanta of Figure 3 into the
+/// 100 ms moving average of Figure 4 (`window = 10`).
+pub fn moving_average_series(series: &TimeSeries, window: usize) -> TimeSeries {
+    let avg = moving_average(&series.values(), window);
+    let mut out = TimeSeries::new(format!("{}_ma{window}", series.name));
+    for (t, v) in series.times_us().into_iter().zip(avg) {
+        out.push(SimTime::from_micros(t), v);
+    }
+    out
+}
+
+/// A 0/1 rectangle wave: `busy` ones then `idle` zeros, repeated to
+/// `len` samples — §5.3's idealized MPEG load ("busy for 9 cycles, and
+/// then idle for 1 cycle").
+///
+/// # Panics
+///
+/// Panics if both `busy` and `idle` are zero.
+pub fn square_wave(busy: usize, idle: usize, len: usize) -> Vec<f64> {
+    let period = busy + idle;
+    assert!(period > 0, "degenerate wave");
+    (0..len)
+        .map(|i| ((i % period) < busy) as u8 as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_one_is_identity() {
+        let sig = [0.2, 0.8, 0.5];
+        assert_eq!(moving_average(&sig, 1), sig.to_vec());
+    }
+
+    #[test]
+    fn head_uses_partial_windows() {
+        let sig = [1.0, 0.0, 1.0, 0.0];
+        let ma = moving_average(&sig, 4);
+        assert_eq!(ma[0], 1.0);
+        assert_eq!(ma[1], 0.5);
+        assert!((ma[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_reduces_peak_to_peak() {
+        let sig = square_wave(9, 1, 200);
+        let ma = moving_average(&sig, 10);
+        let steady = &ma[20..];
+        let swing = steady.iter().cloned().fold(0.0_f64, f64::max)
+            - steady.iter().cloned().fold(1.0_f64, f64::min);
+        // A 10-sample mean of a period-10 wave is perfectly flat.
+        assert!(swing < 1e-12, "swing = {swing}");
+        assert!((steady[0] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_window_still_oscillates() {
+        // The paper's point about "averaging the appropriate period":
+        // a window shorter than the wave period leaves residual swing.
+        let sig = square_wave(9, 1, 200);
+        let ma = moving_average(&sig, 4);
+        let steady = &ma[20..];
+        let swing = steady.iter().cloned().fold(0.0_f64, f64::max)
+            - steady.iter().cloned().fold(1.0_f64, f64::min);
+        assert!(swing > 0.2, "swing = {swing}");
+    }
+
+    #[test]
+    fn series_wrapper_keeps_timestamps() {
+        let mut s = TimeSeries::new("u");
+        for i in 0..20u64 {
+            s.push(SimTime::from_millis(10 * (i + 1)), (i % 2) as f64);
+        }
+        let ma = moving_average_series(&s, 10);
+        assert_eq!(ma.len(), 20);
+        assert_eq!(ma.times_us(), s.times_us());
+        assert!((ma.values().last().unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(ma.name, "u_ma10");
+    }
+
+    #[test]
+    fn square_wave_duty_cycle() {
+        let w = square_wave(9, 1, 1000);
+        let duty = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((duty - 0.9).abs() < 1e-12);
+        assert_eq!(w[0], 1.0);
+        assert_eq!(w[9], 0.0);
+        assert_eq!(w[10], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = moving_average(&[1.0], 0);
+    }
+}

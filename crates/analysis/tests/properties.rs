@@ -1,0 +1,115 @@
+//! Property-based tests of the signal-analysis toolkit.
+
+use proptest::prelude::*;
+
+use analysis::{
+    avg_n_kernel, avg_n_response, convolve, dft_magnitudes, moving_average, square_wave,
+    steady_state_band,
+};
+
+proptest! {
+    /// Convolution is linear: conv(a*x + b*y, k) == a*conv(x,k) + b*conv(y,k).
+    #[test]
+    fn convolution_is_linear(
+        x in proptest::collection::vec(-10.0f64..10.0, 4..64),
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+    ) {
+        let y: Vec<f64> = x.iter().rev().copied().collect();
+        let k = avg_n_kernel(3, x.len());
+        let mixed: Vec<f64> = x.iter().zip(&y).map(|(&u, &v)| a * u + b * v).collect();
+        let lhs = convolve(&mixed, &k);
+        let cx = convolve(&x, &k);
+        let cy = convolve(&y, &k);
+        for i in 0..x.len() {
+            let rhs = a * cx[i] + b * cy[i];
+            prop_assert!((lhs[i] - rhs).abs() < 1e-9);
+        }
+    }
+
+    /// The moving average stays inside the input's convex hull.
+    #[test]
+    fn moving_average_bounded(
+        sig in proptest::collection::vec(0.0f64..1.0, 1..256),
+        window in 1usize..32,
+    ) {
+        let lo = sig.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = sig.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in moving_average(&sig, window) {
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+    }
+
+    /// AVG_N response is bounded by the inputs seen so far and
+    /// monotone under a step input.
+    #[test]
+    fn avg_n_step_response_monotone(n in 1u32..12, level in 0.1f64..1.0) {
+        let inputs = vec![level; 200];
+        let out = avg_n_response(n, &inputs);
+        for w in out.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12, "step response must be monotone");
+        }
+        prop_assert!(out[199] <= level + 1e-12);
+    }
+
+    /// Parseval (up to the one-sided representation): spectrum energy
+    /// of a real signal is within the right scale of its time-domain
+    /// energy.
+    #[test]
+    fn dft_energy_scales(sig in proptest::collection::vec(-1.0f64..1.0, 16..17)) {
+        // Power-of-two length so the FFT path runs.
+        let n = sig.len();
+        let mags = dft_magnitudes(&sig);
+        let time_energy: f64 = sig.iter().map(|x| x * x).sum();
+        // Full two-sided spectral energy = n * time energy; the
+        // one-sided half we return carries between half and all of it.
+        let one_sided: f64 = mags.iter().map(|m| m * m).sum();
+        prop_assert!(one_sided <= n as f64 * time_energy + 1e-6);
+        prop_assert!(2.0 * one_sided + 1e-6 >= n as f64 * time_energy);
+    }
+
+    /// DC bin equals the sum of the signal.
+    #[test]
+    fn dc_bin_is_the_sum(sig in proptest::collection::vec(-5.0f64..5.0, 8..64)) {
+        let mags = dft_magnitudes(&sig);
+        let sum: f64 = sig.iter().sum();
+        prop_assert!((mags[0] - sum.abs()).abs() < 1e-6);
+    }
+
+    /// Square waves have the duty cycle they claim, for any shape.
+    #[test]
+    fn square_wave_duty(busy in 0usize..20, idle in 0usize..20) {
+        prop_assume!(busy + idle > 0);
+        let len = (busy + idle) * 10;
+        let w = square_wave(busy, idle, len);
+        let duty = w.iter().sum::<f64>() / len as f64;
+        let expect = busy as f64 / (busy + idle) as f64;
+        prop_assert!((duty - expect).abs() < 1e-9);
+    }
+
+    /// The steady-state band of an AVG_N-filtered square wave always
+    /// contains the wave's mean.
+    #[test]
+    fn band_contains_mean(n in 1u32..10, busy in 1usize..12, idle in 1usize..6) {
+        let wave = square_wave(busy, idle, 600);
+        let out = avg_n_response(n, &wave);
+        let band = steady_state_band(&out, 300);
+        let mean = busy as f64 / (busy + idle) as f64;
+        prop_assert!(band.min <= mean + 1e-6 && mean <= band.max + 1e-6,
+            "band [{}, {}] vs mean {}", band.min, band.max, mean);
+    }
+}
+
+/// Oscillation swing decreases with N but never vanishes for the 9/1
+/// wave — the paper's instability claim, swept.
+#[test]
+fn swing_decreases_but_never_vanishes() {
+    let wave = square_wave(9, 1, 3000);
+    let mut last = f64::INFINITY;
+    for n in [1u32, 3, 6, 9] {
+        let band = steady_state_band(&avg_n_response(n, &wave), 1500);
+        assert!(band.swing() < last, "N={n}: swing must shrink");
+        assert!(band.swing() > 0.01, "N={n}: swing must persist");
+        last = band.swing();
+    }
+}

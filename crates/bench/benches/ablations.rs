@@ -1,0 +1,188 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! interval length, hysteresis thresholds, speed-setting rules, AVG_N
+//! decay, the memory model, and the voltage-scaling threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use itsy_hw::{ClockTable, MemoryTiming};
+use kernel_sim::{Kernel, KernelConfig, Machine};
+use policies::{AvgN, Hysteresis, IntervalScheduler, SpeedChange};
+use sim_core::SimDuration;
+use workloads::Benchmark;
+
+fn mpeg_run(
+    quantum_ms: u64,
+    policy: Option<Box<dyn policies::ClockPolicy>>,
+    mem: MemoryTiming,
+) -> kernel_sim::KernelReport {
+    let mut kernel = Kernel::new(
+        Machine::itsy(10, Benchmark::Mpeg.devices()).with_memory(mem),
+        KernelConfig {
+            quantum: SimDuration::from_millis(quantum_ms),
+            duration: SimDuration::from_secs(10),
+            record_power: false,
+            log_sched: false,
+            ..KernelConfig::default()
+        },
+    );
+    Benchmark::Mpeg.spawn_into(&mut kernel, 1);
+    if let Some(p) = policy {
+        kernel.install_policy(p);
+    }
+    kernel.run()
+}
+
+fn best_policy() -> Box<dyn policies::ClockPolicy> {
+    Box::new(IntervalScheduler::best_from_paper(ClockTable::sa1100()))
+}
+
+fn ablation_interval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_interval");
+    g.sample_size(10);
+    for ms in [10u64, 50, 100] {
+        g.bench_with_input(BenchmarkId::from_parameter(ms), &ms, |b, &ms| {
+            b.iter(|| {
+                black_box(mpeg_run(
+                    ms,
+                    Some(best_policy()),
+                    MemoryTiming::sa1100_edo(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_thresholds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_thresholds");
+    g.sample_size(10);
+    for (label, th) in [
+        ("pering_70_50", Hysteresis::PERING),
+        ("best_98_93", Hysteresis::BEST),
+        (
+            "mid_85_70",
+            Hysteresis {
+                up: 0.85,
+                down: 0.70,
+            },
+        ),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let policy = IntervalScheduler::new(
+                    Box::new(AvgN::new(0)),
+                    th,
+                    SpeedChange::Peg,
+                    SpeedChange::Peg,
+                    ClockTable::sa1100(),
+                );
+                black_box(mpeg_run(
+                    10,
+                    Some(Box::new(policy)),
+                    MemoryTiming::sa1100_edo(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_speed_rules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_speed_rules");
+    g.sample_size(10);
+    for rule in [SpeedChange::One, SpeedChange::Double, SpeedChange::Peg] {
+        g.bench_function(rule.label(), |b| {
+            b.iter(|| {
+                let policy = IntervalScheduler::new(
+                    Box::new(AvgN::new(0)),
+                    Hysteresis::BEST,
+                    rule,
+                    rule,
+                    ClockTable::sa1100(),
+                );
+                black_box(mpeg_run(
+                    10,
+                    Some(Box::new(policy)),
+                    MemoryTiming::sa1100_edo(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_avgn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_avgn");
+    g.sample_size(10);
+    for n in [0u32, 1, 3, 9] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let policy = IntervalScheduler::new(
+                    Box::new(AvgN::new(n)),
+                    Hysteresis::BEST,
+                    SpeedChange::Peg,
+                    SpeedChange::Peg,
+                    ClockTable::sa1100(),
+                );
+                black_box(mpeg_run(
+                    10,
+                    Some(Box::new(policy)),
+                    MemoryTiming::sa1100_edo(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_memory_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_memory_model");
+    g.sample_size(10);
+    let table = ClockTable::sa1100();
+    for (label, mem) in [
+        ("table3_edo", MemoryTiming::sa1100_edo()),
+        ("ideal_flat", MemoryTiming::ideal(&table, 14, 42)),
+        (
+            "fixed_latency",
+            MemoryTiming::from_latency_ns(&table, 100.0, 320.0),
+        ),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(mpeg_run(10, None, mem.clone())))
+        });
+    }
+    g.finish();
+}
+
+fn ablation_vscale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_vscale");
+    g.sample_size(10);
+    for step in [3usize, 5, 7] {
+        g.bench_with_input(BenchmarkId::from_parameter(step), &step, |b, &step| {
+            b.iter(|| {
+                let policy = IntervalScheduler::best_from_paper(ClockTable::sa1100())
+                    .with_voltage_rule(policies::VoltageRule {
+                        low_at_or_below: step,
+                    });
+                black_box(mpeg_run(
+                    10,
+                    Some(Box::new(policy)),
+                    MemoryTiming::sa1100_edo(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_interval,
+    ablation_thresholds,
+    ablation_speed_rules,
+    ablation_avgn,
+    ablation_memory_model,
+    ablation_vscale
+);
+criterion_main!(ablations);

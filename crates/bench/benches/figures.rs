@@ -1,0 +1,97 @@
+//! One benchmark per reproduced *figure*: each measures regenerating
+//! the artifact from scratch (simulation + analysis), and the bench
+//! body asserts the figure's shape so a regression in the model fails
+//! the bench rather than silently benchmarking a wrong result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig3_utilization_traces", |b| {
+        b.iter(|| {
+            let fig = experiments::fig3::run(black_box(1));
+            assert_eq!(fig.series.len(), 4);
+            black_box(fig)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig4_moving_average", |b| {
+        b.iter(|| {
+            let fig = experiments::fig4::run(black_box(1));
+            assert_eq!(fig.ma100.len(), 4);
+            black_box(fig)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_simple_averaging_example", |b| {
+        b.iter(|| {
+            let fig = experiments::fig5::run();
+            assert_eq!(fig.going_idle.len(), 9);
+            black_box(fig)
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_fourier_spectrum", |b| {
+        b.iter(|| {
+            let fig = experiments::fig6::run(black_box(3));
+            assert!(fig.spectrum.len() > 100);
+            black_box(fig)
+        })
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(20);
+    g.bench_function("fig7_avg3_oscillation", |b| {
+        b.iter(|| {
+            let fig = experiments::fig7::run();
+            assert!(fig.analytic_band.swing() > 0.15);
+            black_box(fig)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig8_best_policy_trace", |b| {
+        b.iter(|| {
+            let fig = experiments::fig8::run(black_box(1));
+            assert_eq!(fig.misses, 0);
+            black_box(fig)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig9_frequency_sweep", |b| {
+        b.iter(|| {
+            let fig = experiments::fig9::run(black_box(1));
+            assert!(fig.plateau_drop().abs() < 0.02);
+            black_box(fig)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures, bench_fig3, bench_fig4, bench_fig5, bench_fig6, bench_fig7, bench_fig8, bench_fig9
+);
+criterion_main!(figures);

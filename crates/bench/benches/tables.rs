@@ -1,0 +1,105 @@
+//! One benchmark per reproduced *table* and per §2/§5.4 measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_avg9_actions", |b| {
+        b.iter(|| {
+            let t = experiments::table1::run();
+            assert_eq!(t.first_scale_up_ms(), Some(120));
+            black_box(t)
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table2_energy_5_configs", |b| {
+        b.iter(|| {
+            let t = experiments::table2::run(black_box(1));
+            assert_eq!(t.rows.len(), 5);
+            black_box(t)
+        })
+    });
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3_memory_cycles", |b| {
+        b.iter(|| {
+            let t = experiments::table3::run();
+            assert_eq!(t.rows.len(), 11);
+            black_box(t)
+        })
+    });
+}
+
+fn bench_battery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("battery_lifetimes", |b| {
+        b.iter(|| {
+            let e = experiments::battery_exp::run();
+            assert!(e.lifetime_ratio() > 7.0);
+            black_box(e)
+        })
+    });
+    g.finish();
+}
+
+fn bench_sa2(c: &mut Criterion) {
+    c.bench_function("sa2_worked_example", |b| {
+        b.iter(|| black_box(experiments::sa2::run()))
+    });
+}
+
+fn bench_switch_cost(c: &mut Criterion) {
+    c.bench_function("switch_cost_measurement", |b| {
+        b.iter(|| {
+            let s = experiments::switch_cost::run();
+            assert_eq!(s.voltage_down.as_micros(), 250);
+            black_box(s)
+        })
+    });
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("policy_sweep_quick", |b| {
+        b.iter(|| {
+            let s = experiments::sweep::run(&experiments::sweep::SweepConfig::quick(), 1);
+            assert!(!s.cells.is_empty());
+            black_box(s)
+        })
+    });
+    g.finish();
+}
+
+fn bench_deadline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("deadline_governor_comparison", |b| {
+        b.iter(|| {
+            let d = experiments::deadline_exp::run();
+            assert_eq!(d.rows.len(), 3);
+            black_box(d)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    tables,
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_battery,
+    bench_sa2,
+    bench_switch_cost,
+    bench_sweep,
+    bench_deadline
+);
+criterion_main!(tables);

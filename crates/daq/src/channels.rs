@@ -1,0 +1,296 @@
+//! Two-channel acquisition: the paper's actual measurement circuit.
+//!
+//! §4.1, footnote 1: "The supply current was measured by measuring the
+//! voltage drop across a high precision small-valued resistor of a
+//! known resistance (0.02 Ω). The current was then calculated by
+//! dividing the voltage by the resistance." The DAQ digitised *two*
+//! signals — the supply voltage and the sense-resistor drop — and the
+//! analysis multiplied them into power.
+//!
+//! [`TwoChannelDaq`] reproduces that chain: the simulator's power trace
+//! is converted to a current draw at the supply voltage, both channels
+//! are sampled with independent noise and ADC quantisation, and
+//! [`TwoChannelCapture::power_profile`] reconstructs power exactly the
+//! way the paper's host software did.
+
+use sim_core::{Rng, SimDuration, SimTime, TimeSeries};
+
+use crate::profile::PowerProfile;
+use crate::sampler::DaqConfig;
+
+/// The measurement circuit and channel configuration.
+#[derive(Debug, Clone)]
+pub struct TwoChannelDaq {
+    /// Sense resistor, ohms (0.02 Ω on the instrumented Itsys).
+    pub sense_ohms: f64,
+    /// Nominal supply voltage, volts (the Itsy's bench supply: 3.1 V).
+    pub supply_volts: f64,
+    /// Full-scale reading of the sense channel, volts. The drop is
+    /// tens of millivolts, so the channel uses a small range.
+    pub sense_full_scale_v: f64,
+    /// Shared rate/resolution/noise configuration.
+    pub config: DaqConfig,
+}
+
+impl Default for TwoChannelDaq {
+    fn default() -> Self {
+        TwoChannelDaq {
+            sense_ohms: 0.02,
+            supply_volts: 3.1,
+            sense_full_scale_v: 0.1,
+            config: DaqConfig::default(),
+        }
+    }
+}
+
+/// Raw two-channel samples.
+#[derive(Debug, Clone)]
+pub struct TwoChannelCapture {
+    /// Supply-voltage samples, volts.
+    pub supply_v: Vec<f64>,
+    /// Sense-drop samples, volts.
+    pub sense_v: Vec<f64>,
+    /// Sense resistance used, ohms.
+    pub sense_ohms: f64,
+    dt: SimDuration,
+}
+
+impl TwoChannelDaq {
+    /// Creates the circuit model.
+    pub fn new(config: DaqConfig) -> Self {
+        TwoChannelDaq {
+            config,
+            ..TwoChannelDaq::default()
+        }
+    }
+
+    fn quantise(v: f64, full_scale: f64, bits: u8) -> f64 {
+        let lsb = full_scale / ((1u64 << bits) - 1) as f64;
+        (v.clamp(0.0, full_scale) / lsb).round() * lsb
+    }
+
+    /// Captures `[trigger, until)` of the simulator's power trace as the
+    /// DAQ saw it: per-sample current through the sense resistor and
+    /// the (slightly sagging) supply voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until` precedes `trigger`.
+    pub fn capture(
+        &self,
+        power_trace: &TimeSeries,
+        trigger: SimTime,
+        until: SimTime,
+        rng: &mut Rng,
+    ) -> TwoChannelCapture {
+        assert!(until >= trigger, "capture window inverted");
+        let dt = SimDuration::from_micros(1_000_000 / self.config.sample_hz as u64);
+        let n = until.duration_since(trigger).as_micros() / dt.as_micros();
+        let points: Vec<(SimTime, f64)> = power_trace.iter().collect();
+        let mut cursor = 0usize;
+        let mut supply = Vec::with_capacity(n as usize);
+        let mut sense = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let t = trigger + SimDuration::from_micros(i * dt.as_micros());
+            while cursor + 1 < points.len() && points[cursor + 1].0 <= t {
+                cursor += 1;
+            }
+            let true_w = if points.is_empty() || points[0].0 > t {
+                0.0
+            } else {
+                points[cursor].1
+            };
+            // Current at the supply; the rail sags by I*R across the
+            // sense resistor (the Itsy sees supply - drop).
+            let current = true_w / self.supply_volts;
+            let drop = current * self.sense_ohms;
+            let noisy_supply =
+                self.supply_volts * (1.0 + self.config.noise_rel * 0.1 * rng.gaussian());
+            let noisy_drop = drop * (1.0 + self.config.noise_rel * rng.gaussian());
+            supply.push(Self::quantise(noisy_supply, 5.0, self.config.adc_bits));
+            sense.push(Self::quantise(
+                noisy_drop,
+                self.sense_full_scale_v,
+                self.config.adc_bits,
+            ));
+        }
+        TwoChannelCapture {
+            supply_v: supply,
+            sense_v: sense,
+            sense_ohms: self.sense_ohms,
+            dt,
+        }
+    }
+}
+
+impl TwoChannelCapture {
+    /// Number of samples per channel.
+    pub fn len(&self) -> usize {
+        self.sense_v.len()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.sense_v.is_empty()
+    }
+
+    /// Per-sample current, amps (`V_drop / R`).
+    pub fn current_a(&self) -> Vec<f64> {
+        self.sense_v.iter().map(|v| v / self.sense_ohms).collect()
+    }
+
+    /// Reconstructs the power profile the way the paper's host software
+    /// did: `P_i = V_i · I_i`.
+    pub fn power_profile(&self) -> PowerProfile {
+        let samples = self
+            .supply_v
+            .iter()
+            .zip(&self.sense_v)
+            .map(|(&v, &drop)| v * (drop / self.sense_ohms))
+            .collect();
+        PowerProfile::new(samples, self.dt)
+    }
+
+    /// Energy burnt in the sense resistor itself (`I²R`) over the
+    /// capture — the instrumentation overhead, which must be negligible.
+    pub fn sense_resistor_energy_j(&self) -> f64 {
+        let dt_s = self.dt.as_secs_f64();
+        self.current_a()
+            .iter()
+            .map(|i| i * i * self.sense_ohms * dt_s)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_trace() -> TimeSeries {
+        let mut t = TimeSeries::new("watts");
+        t.push(SimTime::ZERO, 1.5);
+        t.push(SimTime::from_secs(1), 1.5);
+        t
+    }
+
+    fn noiseless() -> TwoChannelDaq {
+        TwoChannelDaq::new(DaqConfig {
+            noise_rel: 0.0,
+            ..DaqConfig::default()
+        })
+    }
+
+    #[test]
+    fn reconstruction_matches_true_power() {
+        let mut rng = Rng::new(1);
+        let cap = noiseless().capture(
+            &step_trace(),
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            &mut rng,
+        );
+        assert_eq!(cap.len(), 5_000);
+        let p = cap.power_profile();
+        assert!(
+            (p.energy().as_joules() - 1.5).abs() < 0.01,
+            "energy = {}",
+            p.energy().as_joules()
+        );
+    }
+
+    #[test]
+    fn current_is_power_over_voltage() {
+        let mut rng = Rng::new(1);
+        let cap = noiseless().capture(
+            &step_trace(),
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            &mut rng,
+        );
+        let i = cap.current_a();
+        let expect = 1.5 / 3.1;
+        assert!((i[100] - expect).abs() < 0.001, "I = {}", i[100]);
+    }
+
+    #[test]
+    fn sense_drop_is_tens_of_millivolts() {
+        // 1.5 W at 3.1 V is ~0.48 A -> ~9.7 mV across 0.02 ohms: well
+        // inside the 100 mV channel.
+        let mut rng = Rng::new(1);
+        let cap = noiseless().capture(
+            &step_trace(),
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            &mut rng,
+        );
+        let drop = cap.sense_v[100];
+        assert!((0.005..0.02).contains(&drop), "drop = {drop}V");
+    }
+
+    #[test]
+    fn instrumentation_overhead_is_negligible() {
+        let mut rng = Rng::new(1);
+        let cap = noiseless().capture(
+            &step_trace(),
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            &mut rng,
+        );
+        let overhead = cap.sense_resistor_energy_j();
+        let total = cap.power_profile().energy().as_joules();
+        assert!(
+            overhead / total < 0.005,
+            "sense resistor burnt {:.2}% of the energy",
+            overhead / total * 100.0
+        );
+    }
+
+    #[test]
+    fn two_channel_agrees_with_single_channel_daq() {
+        // The one-channel shortcut (crate::Daq) and the full circuit
+        // must report the same energy within noise.
+        let trace = step_trace();
+        let mut rng1 = Rng::new(5);
+        let mut rng2 = Rng::new(6);
+        let one = crate::Daq::default()
+            .capture(&trace, SimTime::ZERO, SimTime::from_secs(1), &mut rng1)
+            .energy()
+            .as_joules();
+        let two = TwoChannelDaq::default()
+            .capture(&trace, SimTime::ZERO, SimTime::from_secs(1), &mut rng2)
+            .power_profile()
+            .energy()
+            .as_joules();
+        assert!((one - two).abs() / one < 0.01, "one {one} vs two {two}");
+    }
+
+    #[test]
+    fn noise_keeps_repeatability_within_the_papers_bound() {
+        let trace = step_trace();
+        let daq = TwoChannelDaq::default();
+        let mut stats = sim_core::RunStats::new();
+        for seed in 0..8 {
+            let mut rng = Rng::new(seed);
+            let e = daq
+                .capture(&trace, SimTime::ZERO, SimTime::from_secs(1), &mut rng)
+                .power_profile()
+                .energy()
+                .as_joules();
+            stats.record(e);
+        }
+        let ci = stats.ci95().unwrap();
+        assert!(ci.relative_half_width() < 0.007);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_window_rejected() {
+        let mut rng = Rng::new(1);
+        let _ = noiseless().capture(
+            &step_trace(),
+            SimTime::from_secs(1),
+            SimTime::ZERO,
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! The measurement harness: a simulated data-acquisition (DAQ) system.
+//!
+//! §4.1 of the paper: the Itsy's supply current is sensed across a
+//! 0.02 Ω precision resistor; a DAQ digitises the supply voltage and
+//! current **5000 times per second** into 16-bit values; collection is
+//! started by the Itsy toggling a GPIO pin wired to the DAQ's external
+//! trigger; and total energy is computed as
+//! `E = Σ pᵢ · 0.0002` — each sample taken as the average power of its
+//! 200 µs interval.
+//!
+//! [`Daq::capture`] reproduces that chain against the simulator's power
+//! step-function trace: zero-order-hold resampling at the DAQ rate,
+//! additive measurement noise, and ADC quantisation. The noise level
+//! defaults to a value that makes repeated runs agree to ≪ 0.7 % of the
+//! mean, the paper's observed repeatability.
+
+pub mod channels;
+pub mod profile;
+pub mod sampler;
+
+pub use channels::{TwoChannelCapture, TwoChannelDaq};
+pub use profile::PowerProfile;
+pub use sampler::{Daq, DaqConfig};

@@ -1,0 +1,132 @@
+//! A captured power profile and the paper's energy arithmetic.
+
+use sim_core::{Energy, Power, SimDuration};
+
+/// A sequence of power samples at a fixed rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerProfile {
+    samples: Vec<f64>,
+    dt: SimDuration,
+}
+
+impl PowerProfile {
+    /// Wraps raw samples taken `dt` apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is zero.
+    pub fn new(samples: Vec<f64>, dt: SimDuration) -> Self {
+        assert!(!dt.is_zero(), "sample interval must be positive");
+        PowerProfile { samples, dt }
+    }
+
+    /// The sample interval (200 µs at the paper's 5 kHz).
+    pub fn dt(&self) -> SimDuration {
+        self.dt
+    }
+
+    /// The samples, in watts.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The captured span.
+    pub fn span(&self) -> SimDuration {
+        SimDuration::from_micros(self.samples.len() as u64 * self.dt.as_micros())
+    }
+
+    /// Total energy, exactly as §4.1 computes it:
+    /// `E = Σᵢ pᵢ · Δt`, treating each sample as the average power of
+    /// its interval.
+    pub fn energy(&self) -> Energy {
+        let dt_s = self.dt.as_secs_f64();
+        Energy::from_joules(self.samples.iter().map(|p| p.max(0.0) * dt_s).sum())
+    }
+
+    /// Mean power over the capture.
+    pub fn average_power(&self) -> Power {
+        if self.samples.is_empty() {
+            return Power::ZERO;
+        }
+        Power::from_watts(
+            self.samples.iter().map(|p| p.max(0.0)).sum::<f64>() / self.samples.len() as f64,
+        )
+    }
+
+    /// Peak sampled power.
+    pub fn peak_power(&self) -> Power {
+        Power::from_watts(self.samples.iter().copied().fold(0.0, f64::max))
+    }
+
+    /// Restricts the profile to sample indices `[from, to)`.
+    pub fn slice(&self, from: usize, to: usize) -> PowerProfile {
+        PowerProfile {
+            samples: self.samples[from..to.min(self.samples.len())].to_vec(),
+            dt: self.dt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(ws: &[f64]) -> PowerProfile {
+        PowerProfile::new(ws.to_vec(), SimDuration::from_micros(200))
+    }
+
+    #[test]
+    fn energy_is_sum_times_dt() {
+        let p = profile(&[1.0; 5000]); // 1 W for 1 s
+        assert!((p.energy().as_joules() - 1.0).abs() < 1e-9);
+        assert_eq!(p.span(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn average_and_peak() {
+        let p = profile(&[1.0, 3.0, 2.0]);
+        assert!((p.average_power().as_watts() - 2.0).abs() < 1e-12);
+        assert!((p.peak_power().as_watts() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_is_zero() {
+        let p = profile(&[]);
+        assert!(p.is_empty());
+        assert_eq!(p.energy().as_joules(), 0.0);
+        assert_eq!(p.average_power(), Power::ZERO);
+    }
+
+    #[test]
+    fn negative_noise_excursions_are_clamped() {
+        // Additive noise can push a near-zero sample negative; the
+        // energy sum must not go negative.
+        let p = profile(&[-0.01, 0.02]);
+        assert!(p.energy().as_joules() >= 0.0);
+    }
+
+    #[test]
+    fn slice_selects_a_window() {
+        let p = profile(&[1.0, 2.0, 3.0, 4.0]);
+        let s = p.slice(1, 3);
+        assert_eq!(s.samples(), &[2.0, 3.0]);
+        // Out-of-range end is clamped.
+        assert_eq!(p.slice(2, 99).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dt_rejected() {
+        let _ = PowerProfile::new(vec![], SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the measurement chain.
+
+use proptest::prelude::*;
+
+use daq::{Daq, DaqConfig, TwoChannelDaq};
+use sim_core::{Rng, SimTime, TimeSeries};
+
+/// Builds a random step-function power trace over `[0, secs]`.
+fn step_trace(levels: &[f64], secs: u64) -> TimeSeries {
+    let mut t = TimeSeries::new("watts");
+    let n = levels.len() as u64;
+    for (i, &w) in levels.iter().enumerate() {
+        t.push(
+            SimTime::from_micros(i as u64 * secs * 1_000_000 / n),
+            w.clamp(0.0, 7.0),
+        );
+    }
+    t.push(
+        SimTime::from_secs(secs),
+        levels.last().copied().unwrap_or(0.0),
+    );
+    t
+}
+
+/// Zero-order-hold ground-truth energy of the trace over `[0, secs]`.
+fn true_energy(trace: &TimeSeries, secs: u64) -> f64 {
+    let pts: Vec<(u64, f64)> = trace.iter().map(|(t, v)| (t.as_micros(), v)).collect();
+    let end = secs * 1_000_000;
+    let mut e = 0.0;
+    for (i, &(t0, v)) in pts.iter().enumerate() {
+        let t1 = pts.get(i + 1).map(|&(t, _)| t).unwrap_or(end).min(end);
+        if t1 > t0 {
+            e += v * (t1 - t0) as f64 / 1e6;
+        }
+    }
+    e
+}
+
+fn noiseless() -> DaqConfig {
+    DaqConfig {
+        noise_rel: 0.0,
+        ..DaqConfig::default()
+    }
+}
+
+proptest! {
+    /// Noiseless capture reproduces the ZOH integral of any step
+    /// function to within quantisation + edge-sample error.
+    #[test]
+    fn capture_matches_zoh_integral(
+        levels in proptest::collection::vec(0.0f64..5.0, 1..20),
+        secs in 1u64..4,
+    ) {
+        let trace = step_trace(&levels, secs);
+        let expect = true_energy(&trace, secs);
+        let mut rng = Rng::new(1);
+        let p = Daq::new(noiseless()).capture(
+            &trace,
+            SimTime::ZERO,
+            SimTime::from_secs(secs),
+            &mut rng,
+        );
+        // Each step edge can misattribute at most one 200 us sample.
+        let tol = 0.01 * expect + levels.len() as f64 * 5.0 * 200e-6 + 1e-6;
+        prop_assert!(
+            (p.energy().as_joules() - expect).abs() <= tol,
+            "measured {} vs true {expect}",
+            p.energy().as_joules()
+        );
+    }
+
+    /// Capture windows tile: energy over [0,T) equals the sum of the
+    /// energies over [0,T/2) and [T/2,T).
+    #[test]
+    fn capture_windows_tile(levels in proptest::collection::vec(0.0f64..5.0, 1..10)) {
+        let trace = step_trace(&levels, 2);
+        let daq = Daq::new(noiseless());
+        let mut rng = Rng::new(2);
+        let whole = daq
+            .capture(&trace, SimTime::ZERO, SimTime::from_secs(2), &mut rng)
+            .energy()
+            .as_joules();
+        let mut rng = Rng::new(2);
+        let a = daq
+            .capture(&trace, SimTime::ZERO, SimTime::from_secs(1), &mut rng)
+            .energy()
+            .as_joules();
+        let mut rng = Rng::new(2);
+        let b = daq
+            .capture(&trace, SimTime::from_secs(1), SimTime::from_secs(2), &mut rng)
+            .energy()
+            .as_joules();
+        prop_assert!((whole - a - b).abs() < 1e-6, "{whole} vs {a}+{b}");
+    }
+
+    /// The two-channel circuit agrees with the single-channel shortcut
+    /// for arbitrary traces (both noiseless).
+    #[test]
+    fn two_channel_matches_one_channel(levels in proptest::collection::vec(0.0f64..5.0, 1..12)) {
+        let trace = step_trace(&levels, 2);
+        let mut rng = Rng::new(3);
+        let one = Daq::new(noiseless())
+            .capture(&trace, SimTime::ZERO, SimTime::from_secs(2), &mut rng)
+            .energy()
+            .as_joules();
+        let mut rng = Rng::new(3);
+        let two = TwoChannelDaq::new(noiseless())
+            .capture(&trace, SimTime::ZERO, SimTime::from_secs(2), &mut rng)
+            .power_profile()
+            .energy()
+            .as_joules();
+        prop_assert!((one - two).abs() <= 0.01 * one.max(0.1), "{one} vs {two}");
+    }
+
+    /// Noise never breaks non-negativity or repeatability bounds.
+    #[test]
+    fn noisy_capture_is_sane(seed in any::<u64>(), level in 0.1f64..5.0) {
+        let trace = step_trace(&[level], 1);
+        let mut rng = Rng::new(seed);
+        let p = Daq::default().capture(&trace, SimTime::ZERO, SimTime::from_secs(1), &mut rng);
+        prop_assert!(p.energy().as_joules() >= 0.0);
+        let rel = (p.energy().as_joules() - level).abs() / level;
+        prop_assert!(rel < 0.01, "relative error {rel}");
+    }
+}

@@ -1,0 +1,210 @@
+//! §2.1 battery-lifetime claim: "If the system clock is 206 MHz, a
+//! typical pair of alkaline batteries will power the system for about 2
+//! hours; if the system clock is set to 59 MHz, those same batteries
+//! will last for about 18 hours. Although the battery lifetime
+//! increased by a factor of 9, the processor speed was only decreased
+//! by a factor of 3.5."
+//!
+//! We reproduce the claim two ways: closed-form (constant-draw
+//! lifetime through the rate-capacity model) and by actually draining a
+//! simulated battery under an idle kernel at both clock steps.
+
+use core::fmt;
+
+use itsy_hw::battery::BatteryParams;
+use itsy_hw::{Battery, ClockTable, CpuMode, DeviceSet};
+use kernel_sim::{Kernel, KernelConfig, Machine};
+use sim_core::{Power, SimDuration};
+
+use crate::report;
+
+/// Result for one clock step.
+#[derive(Debug, Clone, Copy)]
+pub struct BatteryPoint {
+    /// Frequency, MHz.
+    pub mhz: f64,
+    /// Idle system draw, watts.
+    pub idle_power_w: f64,
+    /// Closed-form lifetime, hours.
+    pub lifetime_h: f64,
+}
+
+/// The experiment result.
+pub struct BatteryExp {
+    /// Lifetime at 59 MHz.
+    pub slow: BatteryPoint,
+    /// Lifetime at 206.4 MHz.
+    pub fast: BatteryPoint,
+    /// Simulated (kernel-drained) lifetime at 206.4 MHz, hours — cross
+    /// check of the closed form.
+    pub fast_simulated_h: f64,
+}
+
+/// Idle-system power at a clock step.
+///
+/// The paper does not publish the Itsy's idle draw as a function of
+/// frequency — only the two battery-life anchors (≈18 h at 59 MHz,
+/// ≈2 h at 206.4 MHz). We therefore pin an affine idle-power curve
+/// through the draws those anchors imply under the rate-capacity
+/// battery model (0.19 W and 0.95 W; see `itsy_hw::battery`), a
+/// substitution documented in `EXPERIMENTS.md`. The curve is only used
+/// by this experiment; the Table 2 power model is calibrated
+/// separately (devices on, MPEG active).
+pub fn idle_power(step: usize) -> Power {
+    let table = ClockTable::sa1100();
+    let mhz = table.freq(step).as_mhz_f64();
+    let w = 0.19 + (mhz - 59.0) / (206.4 - 59.0) * (0.95 - 0.19);
+    Power::from_watts(w)
+}
+
+/// Runs the experiment.
+pub fn run() -> BatteryExp {
+    let battery = Battery::new(BatteryParams::default());
+    let point = |step: usize| {
+        let p = idle_power(step);
+        BatteryPoint {
+            mhz: ClockTable::sa1100().freq(step).as_mhz_f64(),
+            idle_power_w: p.as_watts(),
+            lifetime_h: battery.lifetime_hours_at_constant(p),
+        }
+    };
+    let slow = point(0);
+    let fast = point(10);
+
+    // Cross-check by draining a simulated battery under an idle kernel.
+    // To keep the run short we scale: drain a 1/20-capacity battery
+    // and multiply the measured lifetime back up.
+    let small = Battery::new(BatteryParams {
+        nominal_wh: BatteryParams::default().nominal_wh / 20.0,
+        ..BatteryParams::default()
+    });
+    let mut machine = Machine::itsy(10, DeviceSet::NONE).with_battery(small);
+    // Match the idle_power() curve: make the machine's idle draw at
+    // 206.4 MHz equal the anchor by adjusting the base draw.
+    let nap_core = machine
+        .power
+        .core_power(
+            CpuMode::Nap,
+            ClockTable::sa1100().freq(10),
+            itsy_hw::clock::V_HIGH,
+        )
+        .as_watts();
+    machine.power.params.base_w = idle_power(10).as_watts() - nap_core;
+    let kernel = Kernel::new(
+        machine,
+        KernelConfig {
+            duration: SimDuration::from_secs(3 * 3600),
+            stop_when_battery_empty: true,
+            record_power: false,
+            log_sched: false,
+            ..KernelConfig::default()
+        },
+    );
+    let r = kernel.run();
+    let fast_simulated_h = r.elapsed.as_secs_f64() / 3600.0 * 20.0;
+
+    BatteryExp {
+        slow,
+        fast,
+        fast_simulated_h,
+    }
+}
+
+impl BatteryExp {
+    /// The headline ratio: lifetime gain per clock reduction.
+    pub fn lifetime_ratio(&self) -> f64 {
+        self.slow.lifetime_h / self.fast.lifetime_h
+    }
+
+    /// Writes the result as CSV.
+    pub fn save(&self) -> std::io::Result<()> {
+        let doc = report::csv_doc(
+            &["mhz", "idle_w", "lifetime_h"],
+            &[
+                vec![
+                    format!("{}", self.slow.mhz),
+                    format!("{:.3}", self.slow.idle_power_w),
+                    format!("{:.2}", self.slow.lifetime_h),
+                ],
+                vec![
+                    format!("{}", self.fast.mhz),
+                    format!("{:.3}", self.fast.idle_power_w),
+                    format!("{:.2}", self.fast.lifetime_h),
+                ],
+            ],
+        );
+        report::save_csv("battery", "lifetimes", &doc).map(|_| ())
+    }
+}
+
+impl fmt::Display for BatteryExp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Battery lifetime, idle system (2x AAA alkaline)")?;
+        let rows = vec![
+            vec![
+                format!("{:.1} MHz", self.slow.mhz),
+                format!("{:.2} W", self.slow.idle_power_w),
+                format!("{:.1} h (paper: ~18 h)", self.slow.lifetime_h),
+            ],
+            vec![
+                format!("{:.1} MHz", self.fast.mhz),
+                format!("{:.2} W", self.fast.idle_power_w),
+                format!(
+                    "{:.1} h (paper: ~2 h; drained simulation: {:.1} h)",
+                    self.fast.lifetime_h, self.fast_simulated_h
+                ),
+            ],
+            vec![
+                "ratio".into(),
+                format!("{:.1}x clock", 206.4 / 59.0),
+                format!("{:.1}x lifetime (paper: ~9x)", self.lifetime_ratio()),
+            ],
+        ];
+        f.write_str(&report::render_table(
+            &["clock", "idle draw", "lifetime"],
+            &rows,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_lifetimes() {
+        let e = run();
+        assert!(
+            (16.0..20.0).contains(&e.slow.lifetime_h),
+            "59 MHz lifetime = {:.1}h",
+            e.slow.lifetime_h
+        );
+        assert!(
+            (1.7..2.4).contains(&e.fast.lifetime_h),
+            "206.4 MHz lifetime = {:.1}h",
+            e.fast.lifetime_h
+        );
+    }
+
+    #[test]
+    fn nine_times_life_for_3_5_times_clock() {
+        let e = run();
+        assert!(
+            (7.5..11.0).contains(&e.lifetime_ratio()),
+            "ratio = {:.1}",
+            e.lifetime_ratio()
+        );
+    }
+
+    #[test]
+    fn drained_simulation_agrees_with_closed_form() {
+        let e = run();
+        let rel = (e.fast_simulated_h - e.fast.lifetime_h).abs() / e.fast.lifetime_h;
+        assert!(
+            rel < 0.1,
+            "simulated {:.2}h vs closed-form {:.2}h",
+            e.fast_simulated_h,
+            e.fast.lifetime_h
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--seed N] [all | fig3 fig4 fig5 fig6 fig7 fig8 fig9
+//!        table1 table2 table3 battery sa2 cost
+//!        sweep sweep-full deadline ablation govil elastic
+//!        tracedriven timescale summary oracle memprobe modern spectrum]
+//! ```
+//!
+//! Results are printed (tables + ASCII charts) and saved as CSV under
+//! `results/` (override with `REPRO_RESULTS_DIR`).
+
+use std::time::Instant;
+
+use experiments::plot;
+use experiments::*;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: u64 = 1;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        if pos + 1 >= args.len() {
+            eprintln!("--seed needs a value");
+            std::process::exit(2);
+        }
+        seed = args[pos + 1].parse().unwrap_or_else(|e| {
+            eprintln!("bad seed: {e}");
+            std::process::exit(2);
+        });
+        args.drain(pos..=pos + 1);
+    }
+    #[allow(non_snake_case)]
+    let SEED = seed;
+    let want: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "table3",
+            "sa2",
+            "battery",
+            "cost",
+            "fig5",
+            "table1",
+            "fig6",
+            "fig7",
+            "fig3",
+            "fig4",
+            "fig8",
+            "fig9",
+            "table2",
+            "deadline",
+            "ablation",
+            "govil",
+            "elastic",
+            "tracedriven",
+            "timescale",
+            "summary",
+            "oracle",
+            "memprobe",
+            "modern",
+            "spectrum",
+            "sweep",
+        ]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+
+    for id in want {
+        let t0 = Instant::now();
+        println!("==> {id}");
+        match id {
+            "fig3" => {
+                let r = fig3::run(SEED);
+                r.save().expect("save fig3");
+                println!("{r}");
+                for (b, s) in &r.series {
+                    let w = fig3::plot_window(s);
+                    println!("{} (10ms quanta, first 30s):", b.name());
+                    println!(
+                        "{}",
+                        plot::ascii_chart_bounds(&w, 100, 10, Some((0.0, 1.0)))
+                    );
+                }
+            }
+            "fig4" => {
+                let r = fig4::run(SEED);
+                r.save().expect("save fig4");
+                println!("{r}");
+                for (b, s) in &r.ma100 {
+                    println!("{} (100ms moving average, first 30s):", b.name());
+                    let w = s.window(sim_core::SimTime::ZERO, sim_core::SimTime::from_secs(30));
+                    println!("{}", plot::ascii_chart_bounds(&w, 100, 8, Some((0.0, 1.0))));
+                }
+            }
+            "fig5" => {
+                let r = fig5::run();
+                r.save().expect("save fig5");
+                println!("{r}");
+            }
+            "fig6" => {
+                let r = fig6::run(3);
+                r.save().expect("save fig6");
+                println!("{r}");
+            }
+            "fig7" => {
+                let r = fig7::run();
+                r.save().expect("save fig7");
+                println!("{r}");
+                println!(
+                    "{}",
+                    plot::ascii_chart_bounds(&r.analytic, 100, 12, Some((0.0, 1.0)))
+                );
+            }
+            "fig8" => {
+                let r = fig8::run(SEED);
+                r.save().expect("save fig8");
+                println!("{r}");
+                println!(
+                    "{}",
+                    plot::ascii_chart_bounds(&r.freq_mhz, 100, 12, Some((50.0, 210.0)))
+                );
+            }
+            "fig9" => {
+                let r = fig9::run(SEED);
+                r.save().expect("save fig9");
+                println!("{r}");
+                let mut curve = sim_core::TimeSeries::new("decode_util_vs_mhz");
+                for p in &r.points {
+                    curve.push(
+                        sim_core::SimTime::from_micros((p.mhz * 1000.0) as u64),
+                        p.decode_utilization,
+                    );
+                }
+                println!(
+                    "{}",
+                    plot::ascii_chart_bounds(&curve, 80, 12, Some((0.7, 1.0)))
+                );
+            }
+            "table1" => {
+                let r = table1::run();
+                r.save().expect("save table1");
+                println!("{r}");
+            }
+            "table2" => {
+                let r = table2::run(SEED);
+                r.save().expect("save table2");
+                println!("{r}");
+            }
+            "table3" => {
+                let r = table3::run();
+                r.save().expect("save table3");
+                println!("{r}");
+            }
+            "battery" => {
+                let r = battery_exp::run();
+                r.save().expect("save battery");
+                println!("{r}");
+            }
+            "sa2" => {
+                let r = sa2::run();
+                r.save().expect("save sa2");
+                println!("{r}");
+            }
+            "cost" => {
+                let r = switch_cost::run();
+                r.save().expect("save cost");
+                println!("{r}");
+            }
+            "sweep" => {
+                let r = sweep::run(&sweep::SweepConfig::quick(), SEED);
+                r.save().expect("save sweep");
+                println!("{r}");
+            }
+            "sweep-full" => {
+                let r = sweep::run(&sweep::SweepConfig::full(), SEED);
+                r.save().expect("save sweep");
+                println!("{r}");
+            }
+            "deadline" => {
+                let r = deadline_exp::run();
+                r.save().expect("save deadline");
+                println!("{r}");
+            }
+            "spectrum" => {
+                let r = spectrum::run(SEED);
+                r.save().expect("save spectrum");
+                println!("{r}");
+            }
+            "modern" => {
+                let r = modern::run(SEED);
+                r.save().expect("save modern");
+                println!("{r}");
+            }
+            "memprobe" => {
+                let r = memprobe::run();
+                r.save().expect("save memprobe");
+                println!("{r}");
+            }
+            "oracle" => {
+                let r = oracle_exp::run(SEED);
+                r.save().expect("save oracle");
+                println!("{r}");
+            }
+            "summary" => {
+                let r = summary::run(SEED);
+                r.save().expect("save summary");
+                println!("{r}");
+            }
+            "timescale" => {
+                let r = timescale::run(SEED);
+                r.save().expect("save timescale");
+                println!("{r}");
+            }
+            "tracedriven" => {
+                let r = tracedriven::run(SEED);
+                r.save().expect("save tracedriven");
+                println!("{r}");
+            }
+            "govil" => {
+                let r = govil_exp::run(SEED);
+                r.save().expect("save govil");
+                println!("{r}");
+            }
+            "elastic" => {
+                let r = elastic::run(SEED);
+                r.save().expect("save elastic");
+                println!("{r}");
+            }
+            "ablation" => {
+                let a = ablation::interval_length(SEED);
+                a.save().expect("save ablation");
+                println!("{a}");
+                let v = ablation::vscale_threshold(SEED);
+                v.save().expect("save ablation");
+                println!("{v}");
+                let (without, with) = ablation::java_poller(SEED);
+                println!("Ablation: Kaffe 30ms poller (Web, AVG_3 one-one)");
+                println!(
+                    "  without poller: {} switches, {:.1} MHz mean, {:.1} J",
+                    without.switches, without.mean_mhz, without.energy_j
+                );
+                println!(
+                    "  with poller   : {} switches, {:.1} MHz mean, {:.1} J\n",
+                    with.switches, with.mean_mhz, with.energy_j
+                );
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+        println!("    ({:.2}s)\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,210 @@
+//! The elastic evaluation the paper deliberately avoided.
+//!
+//! §3: "Pering et al. assume that frames of an MPEG video ... can be
+//! dropped and present results which combine a combination of energy
+//! savings vs. frame rates. Our goal was to understand the performance
+//! of the different scheduling algorithms without introducing the
+//! complexity of comparing multi-dimensional performance metrics."
+//!
+//! Here we *do* run the multi-dimensional version, as an ablation of
+//! the inelastic-deadline assumption: the MPEG player in frame-dropping
+//! mode, pinned at each clock step, giving the Pering-style
+//! energy-vs-frame-rate trade-off curve.
+
+use core::fmt;
+
+use itsy_hw::DeviceSet;
+use kernel_sim::{Kernel, KernelConfig, Machine};
+use sim_core::SimDuration;
+use workloads::{MpegConfig, MpegWorkload};
+
+use crate::report;
+
+/// One point of the trade-off curve.
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticPoint {
+    /// Clock step.
+    pub step: usize,
+    /// Frequency, MHz.
+    pub mhz: f64,
+    /// Energy over the run, joules.
+    pub energy_j: f64,
+    /// Achieved frame rate (frames displayed per second; 15 = perfect).
+    pub fps: f64,
+    /// Fraction of frames dropped.
+    pub drop_rate: f64,
+}
+
+/// The curve.
+pub struct Elastic {
+    /// One point per clock step.
+    pub points: Vec<ElasticPoint>,
+}
+
+/// Seconds per step.
+pub const RUN_SECS: u64 = 20;
+
+/// Sweeps all clock steps with the elastic player.
+pub fn run(seed: u64) -> Elastic {
+    let table = itsy_hw::ClockTable::sa1100();
+    let points = (0..table.len())
+        .map(|step| {
+            let config = MpegConfig {
+                drop_late_frames: true,
+                ..MpegConfig::default()
+            };
+            let mut kernel = Kernel::new(
+                Machine::itsy(step, DeviceSet::AV),
+                KernelConfig {
+                    duration: SimDuration::from_secs(RUN_SECS),
+                    ..KernelConfig::default()
+                },
+            );
+            for t in MpegWorkload::new(config, seed).into_tasks() {
+                kernel.spawn(t);
+            }
+            let r = kernel.run();
+            let shown = r
+                .deadlines
+                .records()
+                .iter()
+                .filter(|d| d.label == "frame")
+                .count();
+            let dropped = r
+                .deadlines
+                .records()
+                .iter()
+                .filter(|d| d.label == "frame_dropped")
+                .count();
+            ElasticPoint {
+                step,
+                mhz: table.freq(step).as_mhz_f64(),
+                energy_j: r.energy.as_joules(),
+                fps: shown as f64 / RUN_SECS as f64,
+                drop_rate: dropped as f64 / (shown + dropped).max(1) as f64,
+            }
+        })
+        .collect();
+    Elastic { points }
+}
+
+impl Elastic {
+    /// The cheapest step that still achieves at least `fps`.
+    pub fn cheapest_at_fps(&self, fps: f64) -> Option<&ElasticPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.fps >= fps)
+            .min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).unwrap())
+    }
+
+    /// Writes the curve as CSV.
+    pub fn save(&self) -> std::io::Result<()> {
+        let doc = report::csv_doc(
+            &["step", "mhz", "energy_j", "fps", "drop_rate"],
+            &self
+                .points
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.step.to_string(),
+                        format!("{}", p.mhz),
+                        format!("{:.3}", p.energy_j),
+                        format!("{:.2}", p.fps),
+                        format!("{:.4}", p.drop_rate),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        report::save_csv("elastic", "energy_vs_framerate", &doc).map(|_| ())
+    }
+}
+
+impl fmt::Display for Elastic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Elastic MPEG (frame-dropping player), {}s per step",
+            RUN_SECS
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.1}", p.mhz),
+                    format!("{:.1} J", p.energy_j),
+                    format!("{:.1}", p.fps),
+                    format!("{:.0}%", p.drop_rate * 100.0),
+                ]
+            })
+            .collect();
+        f.write_str(&report::render_table(
+            &["MHz", "energy", "fps", "dropped"],
+            &rows,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> &'static Elastic {
+        use std::sync::OnceLock;
+        static CELL: OnceLock<Elastic> = OnceLock::new();
+        CELL.get_or_init(|| run(1))
+    }
+
+    #[test]
+    fn frame_rate_rises_with_clock() {
+        let c = curve();
+        for w in c.points.windows(2) {
+            assert!(
+                w[1].fps >= w[0].fps - 0.4,
+                "{} -> {} MHz dropped fps {} -> {}",
+                w[0].mhz,
+                w[1].mhz,
+                w[0].fps,
+                w[1].fps
+            );
+        }
+        // Full rate at the top, roughly half rate at the bottom.
+        assert!(c.points[10].fps > 14.5);
+        assert!(c.points[0].fps < 10.0);
+    }
+
+    #[test]
+    fn energy_and_quality_trade_off() {
+        let c = curve();
+        // The bottom step is the cheapest and the worst.
+        let bottom = &c.points[0];
+        let top = &c.points[10];
+        assert!(bottom.energy_j < top.energy_j);
+        assert!(bottom.drop_rate > 0.2);
+        assert!(top.drop_rate < 0.01);
+    }
+
+    #[test]
+    fn full_quality_is_cheapest_at_132mhz() {
+        // The elastic curve agrees with the paper's inelastic finding:
+        // the cheapest full-rate point is ~132.7 MHz, not the top step.
+        let c = curve();
+        let best = c.cheapest_at_fps(14.75).expect("some full-rate point");
+        assert_eq!(best.step, 5, "cheapest full-rate step = {}", best.step);
+    }
+
+    #[test]
+    fn drop_rate_is_monotone_nonincreasing() {
+        let c = curve();
+        for w in c.points.windows(2) {
+            assert!(
+                w[1].drop_rate <= w[0].drop_rate + 0.03,
+                "{} -> {} MHz drop rate rose {:.2} -> {:.2}",
+                w[0].mhz,
+                w[1].mhz,
+                w[0].drop_rate,
+                w[1].drop_rate
+            );
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Figure 5: the "simple averaging" policy worked example.
+//!
+//! The figure scripts two four-quantum scenarios for a policy that
+//! averages non-idle cycles over the last four quanta and picks the
+//! smallest sufficient clock step:
+//!
+//! - **(a) going to idle** — from four busy quanta at 206.4 MHz, each
+//!   idle quantum drags the average down fast: 206.4 → 162.2 → 103.2 →
+//!   59 MHz;
+//! - **(b) speeding up** — from idle at 59 MHz, busy quanta only add
+//!   59 MHz-worth of cycles each, so the policy never escapes the
+//!   bottom step: "the processor speed increases very slowly".
+
+use core::fmt;
+
+use itsy_hw::ClockTable;
+use policies::{ClockPolicy, NonIdleCycleAvg};
+use sim_core::SimTime;
+
+use crate::report;
+
+/// One row of the worked example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Row {
+    /// Quantum index within the scenario.
+    pub quantum: usize,
+    /// Whether the quantum was busy.
+    pub busy: bool,
+    /// The policy's average requirement after the quantum, MHz.
+    pub avg_mhz: f64,
+    /// The clock step the policy selects, MHz.
+    pub speed_mhz: f64,
+}
+
+/// Both scenarios.
+pub struct Fig5 {
+    /// Scenario (a): going to idle.
+    pub going_idle: Vec<Fig5Row>,
+    /// Scenario (b): speeding up.
+    pub speeding_up: Vec<Fig5Row>,
+}
+
+fn play(
+    policy: &mut NonIdleCycleAvg,
+    table: &ClockTable,
+    start_step: usize,
+    pattern: &[bool],
+) -> Vec<Fig5Row> {
+    let mut step = start_step;
+    let mut rows = Vec::new();
+    for (i, &busy) in pattern.iter().enumerate() {
+        let req = policy.on_interval(
+            SimTime::from_millis(10 * (i as u64 + 1)),
+            if busy { 1.0 } else { 0.0 },
+            step,
+        );
+        if let Some(s) = req.step {
+            step = s;
+        }
+        rows.push(Fig5Row {
+            quantum: i + 1,
+            busy,
+            avg_mhz: policy.average_mhz(),
+            speed_mhz: table.freq(step).as_mhz_f64(),
+        });
+    }
+    rows
+}
+
+/// Replays both scripted scenarios.
+pub fn run() -> Fig5 {
+    let table = ClockTable::sa1100();
+    // (a) Prime with four busy quanta at the top, then go idle.
+    let mut policy = NonIdleCycleAvg::new(4, table.clone());
+    let mut pattern = vec![true; 4];
+    pattern.extend([false; 5]);
+    let going_idle = play(&mut policy, &table, 10, &pattern);
+    // (b) Prime with four idle quanta at the bottom, then go busy.
+    let mut policy = NonIdleCycleAvg::new(4, table.clone());
+    let mut pattern = vec![false; 4];
+    pattern.extend([true; 5]);
+    let speeding_up = play(&mut policy, &table, 0, &pattern);
+    Fig5 {
+        going_idle,
+        speeding_up,
+    }
+}
+
+impl Fig5 {
+    fn rows_of(rows: &[Fig5Row]) -> Vec<Vec<String>> {
+        rows.iter()
+            .map(|r| {
+                vec![
+                    r.quantum.to_string(),
+                    if r.busy { "active" } else { "idle" }.to_string(),
+                    format!("{:.2}", r.avg_mhz),
+                    format!("{:.1}", r.speed_mhz),
+                ]
+            })
+            .collect()
+    }
+
+    /// Writes both scenarios as CSV.
+    pub fn save(&self) -> std::io::Result<()> {
+        for (name, rows) in [
+            ("going_idle", &self.going_idle),
+            ("speeding_up", &self.speeding_up),
+        ] {
+            let doc = report::csv_doc(
+                &["quantum", "busy", "avg_mhz", "speed_mhz"],
+                &rows
+                    .iter()
+                    .map(|r| {
+                        vec![
+                            r.quantum.to_string(),
+                            (r.busy as u8).to_string(),
+                            format!("{}", r.avg_mhz),
+                            format!("{}", r.speed_mhz),
+                        ]
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            report::save_csv("fig5", name, &doc)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 5(a): going to idle (window avg of non-idle MHz)")?;
+        f.write_str(&report::render_table(
+            &["quantum", "state", "avg MHz", "speed MHz"],
+            &Self::rows_of(&self.going_idle),
+        ))?;
+        writeln!(f, "\nFigure 5(b): speeding up")?;
+        f.write_str(&report::render_table(
+            &["quantum", "state", "avg MHz", "speed MHz"],
+            &Self::rows_of(&self.speeding_up),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn going_idle_matches_the_figure() {
+        let fig = run();
+        let speeds: Vec<f64> = fig.going_idle.iter().map(|r| r.speed_mhz).collect();
+        // Four busy quanta stay at 206.4; then 162.2, 103.2, 59, 59, 59.
+        assert_eq!(
+            speeds,
+            vec![206.4, 206.4, 206.4, 206.4, 162.2, 103.2, 59.0, 59.0, 59.0]
+        );
+        // The figure's averages: 154.5ish (we track 154.8 with the real
+        // 206.4 step value), 103.2, ~51.6, 0.
+        let avgs: Vec<f64> = fig.going_idle[4..].iter().map(|r| r.avg_mhz).collect();
+        assert!((avgs[0] - 154.8).abs() < 0.11);
+        assert!((avgs[1] - 103.2).abs() < 0.11);
+        assert!((avgs[2] - 51.6).abs() < 0.11);
+        assert!(avgs[3].abs() < 1e-9);
+    }
+
+    #[test]
+    fn speeding_up_never_leaves_59mhz() {
+        let fig = run();
+        for r in &fig.speeding_up {
+            assert_eq!(r.speed_mhz, 59.0, "quantum {} escaped", r.quantum);
+        }
+        // The figure's averages while busy at 59: 14.75, 29.5, 44.25, 59.
+        let avgs: Vec<f64> = fig.speeding_up[4..8].iter().map(|r| r.avg_mhz).collect();
+        assert_eq!(avgs, vec![14.75, 29.5, 44.25, 59.0]);
+    }
+
+    #[test]
+    fn asymmetry_is_the_figures_point() {
+        // Down: 3 quanta from 206.4 to 59. Up: never (>=5 quanta).
+        let fig = run();
+        let down_at = fig
+            .going_idle
+            .iter()
+            .position(|r| r.speed_mhz == 59.0)
+            .unwrap();
+        assert_eq!(down_at, 6); // 3 idle quanta after the 4 busy ones
+        assert!(fig.speeding_up.iter().all(|r| r.speed_mhz == 59.0));
+    }
+}

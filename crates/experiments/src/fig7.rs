@@ -1,0 +1,143 @@
+//! Figure 7: AVG_3 filtering of a periodic 9-busy/1-idle workload.
+//!
+//! The analytical core of §5.3: even started at the ideal operating
+//! point, the AVG_N output "oscillat\[es\] over a surprisingly wide range
+//! of the processor utilization" — so any hysteresis band inside that
+//! range keeps flapping the clock. We produce the filtered series both
+//! analytically (the recurrence) and empirically (a square-wave task on
+//! the simulated kernel) and check they agree.
+
+use core::fmt;
+
+use analysis::{avg_n_response, square_wave, steady_state_band, OscillationBand};
+use itsy_hw::DeviceSet;
+use kernel_sim::{Kernel, KernelConfig, Machine};
+use sim_core::{SimDuration, SimTime, TimeSeries};
+use workloads::SquareWave;
+
+use crate::report;
+
+/// The filtered series and oscillation summary.
+pub struct Fig7 {
+    /// Analytical AVG_3 output over the ideal square wave.
+    pub analytic: TimeSeries,
+    /// AVG_3 applied to per-quantum utilization measured on the
+    /// simulated kernel under a real 9/1 square-wave task.
+    pub empirical: TimeSeries,
+    /// Steady-state band of the analytic series.
+    pub analytic_band: OscillationBand,
+    /// Steady-state band of the empirical series.
+    pub empirical_band: OscillationBand,
+}
+
+/// The decay parameter the figure uses.
+pub const N: u32 = 3;
+
+/// Runs both the analytic and the kernel-level versions.
+pub fn run() -> Fig7 {
+    // Analytic: 800 quanta of the ideal wave.
+    let wave = square_wave(9, 1, 800);
+    let out = avg_n_response(N, &wave);
+    let mut analytic = TimeSeries::new("avg3_analytic");
+    for (i, &v) in out.iter().enumerate() {
+        analytic.push(SimTime::from_millis(10 * (i as u64 + 1)), v);
+    }
+    let analytic_band = steady_state_band(&out, 100);
+
+    // Empirical: a spin-based square wave on the kernel.
+    let mut kernel = Kernel::new(
+        Machine::itsy(10, DeviceSet::NONE),
+        KernelConfig {
+            duration: SimDuration::from_secs(8),
+            ..KernelConfig::default()
+        },
+    );
+    kernel.spawn(Box::new(SquareWave::quanta(9, 1)));
+    let report = kernel.run();
+    let measured = avg_n_response(N, &report.utilization.values());
+    let mut empirical = TimeSeries::new("avg3_empirical");
+    for (t, v) in report.utilization.times_us().into_iter().zip(&measured) {
+        empirical.push(SimTime::from_micros(t), *v);
+    }
+    let empirical_band = steady_state_band(&measured, 100);
+
+    Fig7 {
+        analytic,
+        empirical,
+        analytic_band,
+        empirical_band,
+    }
+}
+
+impl Fig7 {
+    /// Writes both series as CSV.
+    pub fn save(&self) -> std::io::Result<()> {
+        report::save_series("fig7", &[&self.analytic, &self.empirical]).map(|_| ())
+    }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 7: AVG_{N} filtering a 9-busy/1-idle rectangle wave"
+        )?;
+        let row = |name: &str, b: &OscillationBand| {
+            vec![
+                name.to_string(),
+                format!("{:.3}", b.min),
+                format!("{:.3}", b.max),
+                format!("{:.3}", b.swing()),
+                format!("{:.3}", b.mean),
+            ]
+        };
+        f.write_str(&report::render_table(
+            &["series", "min", "max", "swing", "mean"],
+            &[
+                row("analytic", &self.analytic_band),
+                row("kernel", &self.empirical_band),
+            ],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sustained_oscillation_over_a_wide_band() {
+        let fig = run();
+        assert!(
+            fig.analytic_band.swing() > 0.15,
+            "swing = {}",
+            fig.analytic_band.swing()
+        );
+        assert!((fig.analytic_band.mean - 0.9).abs() < 0.02);
+    }
+
+    #[test]
+    fn kernel_measurement_matches_analysis() {
+        let fig = run();
+        assert!(
+            (fig.empirical_band.mean - fig.analytic_band.mean).abs() < 0.05,
+            "means diverge: {} vs {}",
+            fig.empirical_band.mean,
+            fig.analytic_band.mean
+        );
+        assert!(
+            (fig.empirical_band.swing() - fig.analytic_band.swing()).abs() < 0.1,
+            "swings diverge: {} vs {}",
+            fig.empirical_band.swing(),
+            fig.analytic_band.swing()
+        );
+    }
+
+    #[test]
+    fn best_policy_thresholds_sit_inside_the_band() {
+        // Which is why PAST-peg at 98/93 keeps flapping on MPEG-like
+        // loads (Figure 8).
+        let fig = run();
+        assert!(fig.analytic_band.destabilizes(0.98, 0.93));
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 8: clock frequency over time for MPEG under the best policy.
+//!
+//! "The scheduling policy only select\[s\] 59Mhz or 206MHz clock settings
+//! and changes clock settings frequently. This scheduling policy
+//! results in suboptimal energy savings but avoids noticeable
+//! application slowdown." The policy is PAST with peg-peg speed
+//! setting and >98 %/<93 % thresholds.
+
+use core::fmt;
+
+use itsy_hw::ClockTable;
+use policies::IntervalScheduler;
+use sim_core::TimeSeries;
+use workloads::Benchmark;
+
+use crate::report;
+use crate::runner::{run_benchmark, RunSpec, TOLERANCE};
+
+/// The frequency trace and its summary.
+pub struct Fig8 {
+    /// Clock frequency (MHz) at every timer tick.
+    pub freq_mhz: TimeSeries,
+    /// Number of clock changes over the run.
+    pub clock_switches: u64,
+    /// Deadline misses beyond the user-visible tolerance.
+    pub misses: usize,
+    /// Fraction of ticks spent at the bottom step.
+    pub fraction_at_59: f64,
+    /// Fraction of ticks spent at the top step.
+    pub fraction_at_206: f64,
+    /// Mean utilization under the policy.
+    pub mean_utilization: f64,
+}
+
+/// Runs MPEG for 30 s under the best policy, starting at the top step.
+pub fn run(seed: u64) -> Fig8 {
+    let spec = RunSpec::new(Benchmark::Mpeg, 10)
+        .for_secs(30)
+        .with_seed(seed);
+    let policy = IntervalScheduler::best_from_paper(ClockTable::sa1100());
+    let report = run_benchmark(&spec, Some(Box::new(policy)));
+    let vals = report.freq_mhz.values();
+    let at = |mhz: f64| {
+        vals.iter().filter(|&&v| (v - mhz).abs() < 0.1).count() as f64 / vals.len() as f64
+    };
+    Fig8 {
+        fraction_at_59: at(59.0),
+        fraction_at_206: at(206.4),
+        clock_switches: report.clock_switches,
+        misses: report.deadlines.misses(TOLERANCE),
+        mean_utilization: report.mean_utilization(),
+        freq_mhz: report.freq_mhz,
+    }
+}
+
+impl Fig8 {
+    /// Writes the frequency trace as CSV.
+    pub fn save(&self) -> std::io::Result<()> {
+        report::save_series("fig8", &[&self.freq_mhz]).map(|_| ())
+    }
+}
+
+impl fmt::Display for Fig8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 8: MPEG clock frequency under PAST, peg-peg, >98%/<93%"
+        )?;
+        let rows = vec![
+            vec![
+                "clock switches (30s)".into(),
+                self.clock_switches.to_string(),
+            ],
+            vec![
+                "ticks at 59 MHz".into(),
+                format!("{:.1}%", self.fraction_at_59 * 100.0),
+            ],
+            vec![
+                "ticks at 206.4 MHz".into(),
+                format!("{:.1}%", self.fraction_at_206 * 100.0),
+            ],
+            vec!["deadline misses (>100ms)".into(), self.misses.to_string()],
+            vec![
+                "mean utilization".into(),
+                format!("{:.3}", self.mean_utilization),
+            ],
+        ];
+        f.write_str(&report::render_table(&["metric", "value"], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_bounces_between_the_extremes() {
+        let fig = run(1);
+        // "only select 59Mhz or 206MHz clock settings".
+        let extreme = fig.fraction_at_59 + fig.fraction_at_206;
+        assert!(extreme > 0.95, "extreme fraction = {extreme}");
+        assert!(fig.fraction_at_59 > 0.02, "never dips to 59 MHz");
+        assert!(fig.fraction_at_206 > 0.5, "mostly pegged high");
+    }
+
+    #[test]
+    fn changes_clock_frequently() {
+        let fig = run(1);
+        // "changes clock settings frequently": many switches in 30 s.
+        assert!(fig.clock_switches > 30, "switches = {}", fig.clock_switches);
+    }
+
+    #[test]
+    fn never_misses_deadlines() {
+        // The "best" property: responsiveness is preserved.
+        let fig = run(1);
+        assert_eq!(fig.misses, 0);
+    }
+}

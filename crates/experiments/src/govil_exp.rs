@@ -1,0 +1,210 @@
+//! The Govil et al. predictor family on the paper's workloads.
+//!
+//! §3: "Govil et al. considered a large number of algorithms" (FLAT,
+//! LONG_SHORT, AGED_AVERAGES, CYCLE, PATTERN, PEAK) — in a trace-driven
+//! simulator. Here each runs live inside the interval scheduler, on the
+//! same workloads as the paper's own sweep, producing the comparison
+//! the paper implies: fancier prediction does not rescue interval
+//! scheduling; the deadline/energy trade-off stays.
+
+use core::fmt;
+
+use itsy_hw::ClockTable;
+use policies::{
+    AgedAverage, AvgN, Cycle, Flat, Hysteresis, IntervalScheduler, LongShort, Past, Pattern, Peak,
+    Predictor, SpeedChange,
+};
+use workloads::Benchmark;
+
+use crate::report;
+use crate::runner::{run_benchmark, RunSpec, TOLERANCE};
+
+/// One predictor × workload cell.
+#[derive(Debug, Clone)]
+pub struct GovilCell {
+    /// Predictor label.
+    pub predictor: String,
+    /// Workload.
+    pub benchmark: Benchmark,
+    /// Energy, joules.
+    pub energy_j: f64,
+    /// Saving vs constant top speed.
+    pub saving: f64,
+    /// Deadline misses beyond tolerance.
+    pub misses: usize,
+}
+
+/// The comparison grid.
+pub struct GovilExp {
+    /// All cells.
+    pub cells: Vec<GovilCell>,
+    /// Seconds per run.
+    pub secs: u64,
+}
+
+/// A named factory producing fresh predictor instances.
+pub type PredictorFactory = (&'static str, fn() -> Box<dyn Predictor + Send>);
+
+/// Fresh instances of every predictor under comparison.
+pub fn predictor_factories() -> Vec<PredictorFactory> {
+    vec![
+        ("PAST", || Box::new(Past::new())),
+        ("AVG_3", || Box::new(AvgN::new(3))),
+        ("AVG_9", || Box::new(AvgN::new(9))),
+        ("FLAT_70", || Box::new(Flat::new(0.7))),
+        ("LONG_SHORT", || Box::new(LongShort::new())),
+        ("AGED_0.90", || Box::new(AgedAverage::new(0.9))),
+        ("CYCLE", || Box::new(Cycle::new())),
+        ("PATTERN", || Box::new(Pattern::new())),
+        ("PEAK", || Box::new(Peak::new())),
+    ]
+}
+
+/// Runs the grid: every predictor, peg-peg at the paper's best
+/// thresholds, on MPEG and Web.
+pub fn run(seed: u64) -> GovilExp {
+    let secs = 20;
+    let benchmarks = [Benchmark::Mpeg, Benchmark::Web];
+    let mut cells = Vec::new();
+    for &b in &benchmarks {
+        let baseline = run_benchmark(&RunSpec::new(b, 10).for_secs(secs).with_seed(seed), None)
+            .energy
+            .as_joules();
+        for (name, factory) in predictor_factories() {
+            let policy = IntervalScheduler::new(
+                factory(),
+                Hysteresis::BEST,
+                SpeedChange::Peg,
+                SpeedChange::Peg,
+                ClockTable::sa1100(),
+            );
+            let r = run_benchmark(
+                &RunSpec::new(b, 10).for_secs(secs).with_seed(seed),
+                Some(Box::new(policy)),
+            );
+            cells.push(GovilCell {
+                predictor: name.to_string(),
+                benchmark: b,
+                energy_j: r.energy.as_joules(),
+                saving: 1.0 - r.energy.as_joules() / baseline,
+                misses: r.deadlines.misses(TOLERANCE),
+            });
+        }
+    }
+    GovilExp { cells, secs }
+}
+
+impl GovilExp {
+    /// Cells for one workload.
+    pub fn for_benchmark(&self, b: Benchmark) -> Vec<&GovilCell> {
+        self.cells.iter().filter(|c| c.benchmark == b).collect()
+    }
+
+    /// Writes the grid as CSV.
+    pub fn save(&self) -> std::io::Result<()> {
+        let doc = report::csv_doc(
+            &["predictor", "benchmark", "energy_j", "saving", "misses"],
+            &self
+                .cells
+                .iter()
+                .map(|c| {
+                    vec![
+                        c.predictor.clone(),
+                        c.benchmark.name().to_string(),
+                        format!("{:.3}", c.energy_j),
+                        format!("{:.4}", c.saving),
+                        c.misses.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        report::save_csv("govil", "predictor_grid", &doc).map(|_| ())
+    }
+}
+
+impl fmt::Display for GovilExp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Govil et al. predictor family, peg-peg @ >98%/<93%, {}s runs",
+            self.secs
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.benchmark.name().to_string(),
+                    c.predictor.clone(),
+                    format!("{:.1} J", c.energy_j),
+                    format!("{:+.1}%", -c.saving * 100.0),
+                    c.misses.to_string(),
+                ]
+            })
+            .collect();
+        f.write_str(&report::render_table(
+            &["workload", "predictor", "energy", "vs constant", "misses"],
+            &rows,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp() -> &'static GovilExp {
+        use std::sync::OnceLock;
+        static CELL: OnceLock<GovilExp> = OnceLock::new();
+        CELL.get_or_init(|| run(1))
+    }
+
+    #[test]
+    fn grid_is_complete() {
+        let e = exp();
+        assert_eq!(e.cells.len(), predictor_factories().len() * 2);
+    }
+
+    #[test]
+    fn no_predictor_makes_interval_scheduling_great_on_mpeg() {
+        // The paper's conclusion generalises across the family: nobody
+        // reaches the ~10% the right constant speed gives, without
+        // missing deadlines.
+        let e = exp();
+        for c in e.for_benchmark(Benchmark::Mpeg) {
+            if c.misses == 0 {
+                assert!(
+                    c.saving < 0.09,
+                    "{} saved {:.1}% on MPEG without misses",
+                    c.predictor,
+                    c.saving * 100.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_70_misses_mpeg_deadlines() {
+        // FLAT predicts 70% < the 93% lower threshold forever, so the
+        // clock pegs to 59 MHz and stays — MPEG cannot survive that.
+        let e = exp();
+        let flat = e
+            .for_benchmark(Benchmark::Mpeg)
+            .into_iter()
+            .find(|c| c.predictor == "FLAT_70")
+            .unwrap();
+        assert!(flat.misses > 0);
+    }
+
+    #[test]
+    fn some_predictor_saves_on_web_safely() {
+        let e = exp();
+        let best = e
+            .for_benchmark(Benchmark::Web)
+            .into_iter()
+            .filter(|c| c.misses == 0)
+            .map(|c| c.saving)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(best > 0.08, "best safe Web saving {:.1}%", best * 100.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Weiser et al.'s trace-driven algorithms on this paper's workloads.
+//!
+//! §3: Weiser proposed OPT, FUTURE and PAST and evaluated them on
+//! workstation traces; "of the algorithms they propose, only PAST is
+//! feasible because it does not make decisions using future
+//! information". Here their trio runs on work traces recorded from the
+//! simulated Itsy workloads, reproducing Weiser's energy ordering
+//! (OPT ≤ FUTURE ≤ PAST) and quantifying the backlog (delay) each
+//! tolerates — on pocket-computer workloads instead of engineering
+//! ones.
+
+use core::fmt;
+
+use policies::oracle::{future, opt, weiser_past, TraceSchedule};
+use policies::WorkTrace;
+use workloads::Benchmark;
+
+use crate::report;
+use crate::runner::{run_benchmark, RunSpec};
+
+/// One workload's results under the three algorithms.
+pub struct OracleRow {
+    /// Workload.
+    pub benchmark: Benchmark,
+    /// OPT's schedule.
+    pub opt: TraceSchedule,
+    /// FUTURE's schedule.
+    pub future: TraceSchedule,
+    /// Weiser-PAST's schedule.
+    pub past: TraceSchedule,
+    /// Energy of running the trace at full speed (the normalisation
+    /// baseline: `Σ work · 1²`).
+    pub full_speed_energy: f64,
+}
+
+/// The comparison.
+pub struct OracleExp {
+    /// One row per workload.
+    pub rows: Vec<OracleRow>,
+}
+
+/// Records each workload's full-speed work trace and runs the trio.
+pub fn run(seed: u64) -> OracleExp {
+    let rows = Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let r = run_benchmark(&RunSpec::new(b, 10).for_secs(30).with_seed(seed), None);
+            let trace = WorkTrace::new(r.work_fraction.values());
+            let full_speed_energy: f64 = trace.intervals().iter().sum();
+            OracleRow {
+                benchmark: b,
+                opt: opt(&trace),
+                future: future(&trace),
+                past: weiser_past(&trace),
+                full_speed_energy,
+            }
+        })
+        .collect();
+    OracleExp { rows }
+}
+
+impl OracleExp {
+    /// Row for a benchmark.
+    pub fn row(&self, b: Benchmark) -> &OracleRow {
+        self.rows
+            .iter()
+            .find(|r| r.benchmark == b)
+            .expect("benchmark present")
+    }
+
+    /// Writes the comparison as CSV.
+    pub fn save(&self) -> std::io::Result<()> {
+        let mut rows = Vec::new();
+        for r in &self.rows {
+            for s in [&r.opt, &r.future, &r.past] {
+                rows.push(vec![
+                    r.benchmark.name().to_string(),
+                    s.name.to_string(),
+                    format!("{:.4}", s.energy / r.full_speed_energy),
+                    format!("{:.3}", s.peak_backlog()),
+                    format!("{:.3}", s.final_backlog()),
+                ]);
+            }
+        }
+        let doc = report::csv_doc(
+            &[
+                "benchmark",
+                "algorithm",
+                "relative_energy",
+                "peak_backlog",
+                "final_backlog",
+            ],
+            &rows,
+        );
+        report::save_csv("oracle", "weiser_trio", &doc).map(|_| ())
+    }
+}
+
+impl fmt::Display for OracleExp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Weiser et al.'s trace-driven trio on recorded Itsy work traces (30s)"
+        )?;
+        let mut rows = Vec::new();
+        for r in &self.rows {
+            for s in [&r.opt, &r.future, &r.past] {
+                rows.push(vec![
+                    r.benchmark.name().to_string(),
+                    s.name.to_string(),
+                    format!("{:.1}%", s.energy / r.full_speed_energy * 100.0),
+                    format!("{:.2} quanta", s.peak_backlog()),
+                ]);
+            }
+        }
+        f.write_str(&report::render_table(
+            &[
+                "workload",
+                "algorithm",
+                "energy vs full speed",
+                "peak backlog",
+            ],
+            &rows,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp() -> &'static OracleExp {
+        use std::sync::OnceLock;
+        static CELL: OnceLock<OracleExp> = OnceLock::new();
+        CELL.get_or_init(|| run(1))
+    }
+
+    #[test]
+    fn opt_is_cheapest_everywhere() {
+        let e = exp();
+        for r in &e.rows {
+            assert!(
+                r.opt.energy <= r.future.energy + 1e-9 && r.opt.energy <= r.past.energy + 1e-9,
+                "{}: OPT {} vs FUTURE {} / PAST {}",
+                r.benchmark.name(),
+                r.opt.energy,
+                r.future.energy,
+                r.past.energy
+            );
+        }
+    }
+
+    #[test]
+    fn past_only_beats_future_by_tolerating_delay() {
+        // FUTURE finishes every interval (zero backlog); PAST may edge
+        // it out on energy, but only by letting work slip.
+        let e = exp();
+        for r in &e.rows {
+            if r.past.energy < r.future.energy {
+                assert!(
+                    r.past.peak_backlog() > 0.0,
+                    "{}: PAST cheaper with no backlog?",
+                    r.benchmark.name()
+                );
+            } else {
+                assert!(
+                    r.future.energy <= r.past.energy * 1.02,
+                    "{}: FUTURE {} vs PAST {}",
+                    r.benchmark.name(),
+                    r.future.energy,
+                    r.past.energy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn everyone_beats_running_flat_out() {
+        let e = exp();
+        for r in &e.rows {
+            for s in [&r.opt, &r.future, &r.past] {
+                assert!(
+                    s.energy < r.full_speed_energy,
+                    "{} {} saved nothing",
+                    r.benchmark.name(),
+                    s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn opt_defers_the_most_work() {
+        // OPT's constant mean speed trades delay for energy: its peak
+        // backlog dominates FUTURE's (which finishes every interval).
+        let e = exp();
+        for r in &e.rows {
+            assert!(
+                r.opt.peak_backlog() >= r.future.peak_backlog(),
+                "{}",
+                r.benchmark.name()
+            );
+            assert!(r.future.peak_backlog() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn light_workloads_save_more() {
+        // Web's mostly-idle trace lets every algorithm run near the
+        // floor; MPEG's heavy trace cannot.
+        let e = exp();
+        let rel = |b: Benchmark| {
+            let r = e.row(b);
+            r.opt.energy / r.full_speed_energy
+        };
+        assert!(rel(Benchmark::Web) < rel(Benchmark::Mpeg));
+    }
+}

@@ -1,0 +1,213 @@
+//! Terminal rendering of figures: simple ASCII charts so `repro`
+//! actually *shows* each figure, not just its summary statistics.
+
+use sim_core::TimeSeries;
+
+/// Renders a line chart of `series` into a `width × height` character
+/// grid with a y-axis label column.
+///
+/// Values are bucketed by x (column = time bucket, averaged) and mapped
+/// linearly between the series' min and max (or the given bounds).
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is zero.
+pub fn ascii_chart(series: &TimeSeries, width: usize, height: usize) -> String {
+    ascii_chart_bounds(series, width, height, None)
+}
+
+/// [`ascii_chart`] with explicit `(lo, hi)` y-bounds.
+pub fn ascii_chart_bounds(
+    series: &TimeSeries,
+    width: usize,
+    height: usize,
+    bounds: Option<(f64, f64)>,
+) -> String {
+    assert!(width > 0 && height > 0, "degenerate chart");
+    let values = series.values();
+    let times = series.times_us();
+    if values.is_empty() {
+        return format!("{} (empty)\n", series.name);
+    }
+    let (lo, hi) = bounds.unwrap_or_else(|| {
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if (hi - lo).abs() < 1e-12 {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo, hi)
+        }
+    });
+    let t0 = *times.first().expect("nonempty") as f64;
+    let t1 = *times.last().expect("nonempty") as f64;
+    let t_span = (t1 - t0).max(1.0);
+
+    // Column means.
+    let mut sums = vec![0.0f64; width];
+    let mut counts = vec![0u32; width];
+    for (&t, &v) in times.iter().zip(values.iter()) {
+        let col = (((t as f64 - t0) / t_span) * (width as f64 - 1.0)).round() as usize;
+        sums[col] += v;
+        counts[col] += 1;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    let mut prev_row: Option<usize> = None;
+    for col in 0..width {
+        if counts[col] == 0 {
+            continue;
+        }
+        let v = sums[col] / counts[col] as f64;
+        let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        let row = ((1.0 - frac) * (height as f64 - 1.0)).round() as usize;
+        grid[row][col] = '*';
+        // Connect vertical jumps so step functions read as lines.
+        if let Some(p) = prev_row {
+            let (a, b) = if p < row { (p, row) } else { (row, p) };
+            for r in grid.iter_mut().take(b).skip(a + 1) {
+                if r[col] == ' ' {
+                    r[col] = '|';
+                }
+            }
+        }
+        prev_row = Some(row);
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} [{} .. {}] over {:.1}s\n",
+        series.name,
+        fmt_val(lo),
+        fmt_val(hi),
+        (t1 - t0) / 1e6
+    ));
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            fmt_val(hi)
+        } else if i == height - 1 {
+            fmt_val(lo)
+        } else {
+            String::new()
+        };
+        out.push_str(&format!("{label:>8} |{}\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(width)));
+    out
+}
+
+fn fmt_val(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// A one-line sparkline of the series (Unicode block characters).
+pub fn sparkline(series: &TimeSeries, width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let values = series.values();
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let chunk = values.len().div_ceil(width);
+    values
+        .chunks(chunk)
+        .map(|c| {
+            let mean = c.iter().sum::<f64>() / c.len() as f64;
+            let idx = (((mean - lo) / span) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimTime;
+
+    fn ramp() -> TimeSeries {
+        let mut s = TimeSeries::new("ramp");
+        for i in 0..100u64 {
+            s.push(SimTime::from_millis(i * 10), i as f64 / 99.0);
+        }
+        s
+    }
+
+    #[test]
+    fn chart_has_requested_dimensions() {
+        let out = ascii_chart(&ramp(), 40, 10);
+        let lines: Vec<&str> = out.lines().collect();
+        // Header + height rows + axis.
+        assert_eq!(lines.len(), 12);
+        for line in &lines[1..11] {
+            assert!(line.len() <= 8 + 2 + 40 + 1);
+            assert!(line.contains('|'));
+        }
+    }
+
+    #[test]
+    fn ramp_rises_left_to_right() {
+        let out = ascii_chart(&ramp(), 20, 8);
+        let lines: Vec<&str> = out.lines().collect();
+        // The top row's stars are on the right, the bottom row's on the
+        // left.
+        let top = lines[1];
+        let bottom = lines[8];
+        let top_pos = top.find('*').expect("top row has a point");
+        let bottom_pos = bottom.find('*').expect("bottom row has a point");
+        assert!(top_pos > bottom_pos, "{out}");
+    }
+
+    #[test]
+    fn constant_series_renders_without_panic() {
+        let mut s = TimeSeries::new("flat");
+        for i in 0..10u64 {
+            s.push(SimTime::from_millis(i), 0.5);
+        }
+        let out = ascii_chart(&s, 10, 4);
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        let s = TimeSeries::new("none");
+        assert!(ascii_chart(&s, 10, 4).contains("empty"));
+        assert_eq!(sparkline(&s, 10), "");
+    }
+
+    #[test]
+    fn explicit_bounds_clamp() {
+        let out = ascii_chart_bounds(&ramp(), 20, 6, Some((0.0, 2.0)));
+        // With doubled headroom nothing reaches the top row.
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(!lines[1].contains('*'));
+    }
+
+    #[test]
+    fn sparkline_width_and_monotonicity() {
+        let sl = sparkline(&ramp(), 10);
+        assert_eq!(sl.chars().count(), 10);
+        let levels: Vec<u32> = sl
+            .chars()
+            .map(|c| {
+                ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█']
+                    .iter()
+                    .position(|&b| b == c)
+                    .unwrap() as u32
+            })
+            .collect();
+        assert!(levels.windows(2).all(|w| w[1] >= w[0]), "{sl}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_size_rejected() {
+        let _ = ascii_chart(&ramp(), 0, 5);
+    }
+}

@@ -1,0 +1,127 @@
+//! Output helpers: fixed-width tables and CSV export.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::PathBuf;
+
+use sim_core::TimeSeries;
+
+/// Renders a fixed-width text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            let _ = write!(out, "{cell:<w$}  ");
+        }
+        let _ = writeln!(out);
+    };
+    let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    fmt_row(&headers, &widths, &mut out);
+    let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+    let _ = writeln!(out, "{}", "-".repeat(total));
+    for row in rows {
+        fmt_row(row, &widths, &mut out);
+    }
+    out
+}
+
+/// The directory experiment CSVs are written to.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("REPRO_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Writes a set of series as CSV files under `results/<experiment>/`.
+pub fn save_series(experiment: &str, series: &[&TimeSeries]) -> io::Result<Vec<PathBuf>> {
+    let dir = results_dir().join(experiment);
+    std::fs::create_dir_all(&dir)?;
+    let mut paths = Vec::new();
+    for s in series {
+        let path = dir.join(format!("{}.csv", sanitize(&s.name)));
+        s.write_csv(&path)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Writes raw CSV text under `results/<experiment>/<name>.csv`.
+pub fn save_csv(experiment: &str, name: &str, csv: &str) -> io::Result<PathBuf> {
+    let dir = results_dir().join(experiment);
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{}.csv", sanitize(name)));
+    std::fs::write(&path, csv)?;
+    Ok(path)
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Joins CSV cells, escaping nothing (cells are numeric or simple
+/// labels by construction).
+pub fn csv_line(cells: &[String]) -> String {
+    cells.join(",")
+}
+
+/// Builds a CSV document from a header and rows.
+pub fn csv_doc(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", header.join(","));
+    for row in rows {
+        let _ = writeln!(out, "{}", csv_line(row));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let out = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("name    value"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[3].starts_with("longer  1") || lines[3].starts_with("longer  22"));
+    }
+
+    #[test]
+    fn csv_doc_layout() {
+        let doc = csv_doc(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert_eq!(doc, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn sanitize_strips_odd_characters() {
+        assert_eq!(sanitize("utilization (10ms)"), "utilization__10ms_");
+        assert_eq!(sanitize("freq_mhz"), "freq_mhz");
+    }
+}

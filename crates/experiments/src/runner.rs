@@ -1,0 +1,163 @@
+//! Common machinery: configure a run, execute it, measure its energy.
+
+use daq::Daq;
+use itsy_hw::clock::{V_HIGH, V_LOW};
+use itsy_hw::StepIndex;
+use kernel_sim::{Kernel, KernelConfig, KernelReport, Machine};
+use policies::{ClockPolicy, ConstantPolicy};
+use sim_core::Voltage;
+use sim_core::{Rng, RunStats, SimDuration, SimTime};
+use workloads::Benchmark;
+
+/// What to run: a benchmark, a starting machine state, a policy and a
+/// duration.
+pub struct RunSpec {
+    /// The workload.
+    pub benchmark: Benchmark,
+    /// Initial (and, for constant policies, permanent) clock step.
+    pub initial_step: StepIndex,
+    /// Initial core voltage.
+    pub initial_voltage: Voltage,
+    /// Simulated duration; defaults to the benchmark's nominal length.
+    pub duration: SimDuration,
+    /// Workload seed (vary per run for run-to-run spread).
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A spec with the benchmark's nominal duration and stock settings.
+    pub fn new(benchmark: Benchmark, initial_step: StepIndex) -> Self {
+        RunSpec {
+            benchmark,
+            initial_step,
+            initial_voltage: V_HIGH,
+            duration: benchmark.nominal_duration(),
+            seed: 1,
+        }
+    }
+
+    /// Overrides the duration.
+    pub fn for_secs(mut self, secs: u64) -> Self {
+        self.duration = SimDuration::from_secs(secs);
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs at the low core voltage.
+    pub fn at_low_voltage(mut self) -> Self {
+        self.initial_voltage = V_LOW;
+        self
+    }
+}
+
+/// Builds the kernel for a spec, optionally installs `policy`, runs it
+/// to completion.
+pub fn run_benchmark(spec: &RunSpec, policy: Option<Box<dyn ClockPolicy>>) -> KernelReport {
+    let machine = Machine::itsy(spec.initial_step, spec.benchmark.devices());
+    let mut kernel = Kernel::new(
+        machine,
+        KernelConfig {
+            duration: spec.duration,
+            ..KernelConfig::default()
+        },
+    );
+    spec.benchmark.spawn_into(&mut kernel, spec.seed);
+    match policy {
+        Some(p) => kernel.install_policy(p),
+        None => {
+            // Pin the machine at the spec's settings (the paper's
+            // constant-speed baselines).
+            kernel.install_policy(Box::new(ConstantPolicy::new(
+                spec.initial_step,
+                spec.initial_voltage,
+            )));
+        }
+    }
+    kernel.run()
+}
+
+/// Runs `spec` `runs` times (varying seed), captures each run through
+/// the DAQ, and accumulates per-run energy plus deadline misses.
+///
+/// Returns `(energy stats, total deadline misses across runs, last
+/// report)`.
+pub fn measure_energy(
+    spec: RunSpec,
+    mut make_policy: impl FnMut() -> Option<Box<dyn ClockPolicy>>,
+    runs: u32,
+    tolerance: SimDuration,
+) -> (RunStats, usize, KernelReport) {
+    let daq = Daq::default();
+    let mut stats = RunStats::new();
+    let mut misses = 0usize;
+    let mut last = None;
+    for run in 0..runs {
+        let per_run = RunSpec {
+            seed: spec.seed + run as u64,
+            ..RunSpec {
+                benchmark: spec.benchmark,
+                initial_step: spec.initial_step,
+                initial_voltage: spec.initial_voltage,
+                duration: spec.duration,
+                seed: spec.seed,
+            }
+        };
+        let report = run_benchmark(&per_run, make_policy());
+        let mut rng = Rng::new(0xDAA0 + spec.seed * 1000 + run as u64);
+        let profile = daq.capture(
+            &report.power_w,
+            SimTime::ZERO,
+            SimTime::ZERO + spec.duration,
+            &mut rng,
+        );
+        stats.record(profile.energy().as_joules());
+        misses += report.deadlines.misses(tolerance);
+        last = Some(report);
+    }
+    (stats, misses, last.expect("at least one run"))
+}
+
+/// The deadline tolerance used throughout: lateness beyond this is a
+/// user-visible failure (A/V desync, audio underrun, sluggish echo).
+pub const TOLERANCE: SimDuration = SimDuration::from_millis(100);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_run_never_changes_clock() {
+        let spec = RunSpec::new(Benchmark::Mpeg, 10).for_secs(3);
+        let r = run_benchmark(&spec, None);
+        assert_eq!(r.clock_switches, 0);
+        assert_eq!(r.final_step, 10);
+    }
+
+    #[test]
+    fn low_voltage_spec_uses_less_energy() {
+        let hi = run_benchmark(&RunSpec::new(Benchmark::Mpeg, 5).for_secs(5), None);
+        let lo = run_benchmark(
+            &RunSpec::new(Benchmark::Mpeg, 5)
+                .for_secs(5)
+                .at_low_voltage(),
+            None,
+        );
+        assert!(lo.energy.as_joules() < hi.energy.as_joules());
+    }
+
+    #[test]
+    fn measure_energy_accumulates_runs() {
+        let spec = RunSpec::new(Benchmark::Mpeg, 10).for_secs(2);
+        let (stats, misses, last) = measure_energy(spec, || None, 3, TOLERANCE);
+        assert_eq!(stats.n(), 3);
+        assert_eq!(misses, 0);
+        assert!(last.energy.as_joules() > 0.0);
+        let ci = stats.ci95().unwrap();
+        assert!(ci.relative_half_width() < 0.02);
+    }
+}

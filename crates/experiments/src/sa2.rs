@@ -1,0 +1,142 @@
+//! The §2.1 StrongARM SA-2 worked example.
+//!
+//! "Consider a computation that normally takes 600 million instructions
+//! to complete. That application would take one second on a StrongARM
+//! SA-2 at 600MHz and would consume 500 mJoules. At 150MHz, the
+//! application would take four seconds to complete, but would only
+//! consume 160 mJoules, a four-fold savings" (500 mW at 600 MHz vs
+//! 40 mW at 150 MHz — "a 12-fold energy reduction for a 4-fold
+//! performance reduction").
+
+use core::fmt;
+
+use sim_core::{Energy, Frequency, Power, SimDuration};
+
+use crate::report;
+
+/// One operating point of the example.
+#[derive(Debug, Clone, Copy)]
+pub struct Sa2Point {
+    /// Clock frequency.
+    pub freq: Frequency,
+    /// Dissipation at that point.
+    pub power: Power,
+    /// Time to run the 600 M-instruction task.
+    pub time: SimDuration,
+    /// Energy for the task.
+    pub energy: Energy,
+}
+
+/// The worked example.
+pub struct Sa2 {
+    /// 600 MHz / 500 mW.
+    pub fast: Sa2Point,
+    /// 150 MHz / 40 mW.
+    pub slow: Sa2Point,
+}
+
+/// Instructions in the example task.
+pub const WORK_INSTRUCTIONS: u64 = 600_000_000;
+
+/// Computes the example.
+pub fn run() -> Sa2 {
+    let point = |mhz: u32, mw: f64| {
+        let freq = Frequency::from_mhz(mhz);
+        let power = Power::from_milliwatts(mw);
+        let time = freq.time_for_cycles(WORK_INSTRUCTIONS);
+        Sa2Point {
+            freq,
+            power,
+            time,
+            energy: power.over(time),
+        }
+    };
+    Sa2 {
+        fast: point(600, 500.0),
+        slow: point(150, 40.0),
+    }
+}
+
+impl Sa2 {
+    /// Energy saving factor of running slow.
+    pub fn energy_ratio(&self) -> f64 {
+        self.fast.energy.as_joules() / self.slow.energy.as_joules()
+    }
+
+    /// Slowdown factor of running slow.
+    pub fn slowdown(&self) -> f64 {
+        self.slow.time.as_secs_f64() / self.fast.time.as_secs_f64()
+    }
+
+    /// Power reduction factor (the "12-fold energy reduction" quote is
+    /// about power at fixed time).
+    pub fn power_ratio(&self) -> f64 {
+        self.fast.power.as_watts() / self.slow.power.as_watts()
+    }
+
+    /// Writes the example as CSV.
+    pub fn save(&self) -> std::io::Result<()> {
+        let row = |p: &Sa2Point| {
+            vec![
+                format!("{}", p.freq.as_mhz_f64()),
+                format!("{}", p.power.as_watts()),
+                format!("{}", p.time.as_secs_f64()),
+                format!("{}", p.energy.as_joules()),
+            ]
+        };
+        let doc = report::csv_doc(
+            &["mhz", "watts", "seconds", "joules"],
+            &[row(&self.fast), row(&self.slow)],
+        );
+        report::save_csv("sa2", "worked_example", &doc).map(|_| ())
+    }
+}
+
+impl fmt::Display for Sa2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SA-2 example: 600M instructions")?;
+        let row = |name: &str, p: &Sa2Point| {
+            vec![
+                name.to_string(),
+                format!("{}", p.freq),
+                format!("{}", p.power),
+                format!("{}", p.time),
+                format!("{:.0} mJ", p.energy.as_joules() * 1000.0),
+            ]
+        };
+        f.write_str(&report::render_table(
+            &["point", "clock", "power", "time", "energy"],
+            &[row("fast", &self.fast), row("slow", &self.slow)],
+        ))?;
+        writeln!(
+            f,
+            "slow saves {:.1}x energy for {:.0}x slowdown",
+            self.energy_ratio(),
+            self.slowdown()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_papers_numbers() {
+        let s = run();
+        assert_eq!(s.fast.time, SimDuration::from_secs(1));
+        assert_eq!(s.slow.time, SimDuration::from_secs(4));
+        assert!((s.fast.energy.as_joules() - 0.5).abs() < 1e-9);
+        assert!((s.slow.energy.as_joules() - 0.16).abs() < 1e-9);
+    }
+
+    #[test]
+    fn headline_ratios() {
+        let s = run();
+        // "a 12-fold energy [power] reduction for a 4-fold performance
+        // reduction" and "a four-fold [energy] savings".
+        assert!((s.power_ratio() - 12.5).abs() < 0.01);
+        assert!((s.slowdown() - 4.0).abs() < 1e-9);
+        assert!((s.energy_ratio() - 3.125).abs() < 0.01);
+    }
+}

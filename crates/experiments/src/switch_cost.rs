@@ -1,0 +1,218 @@
+//! §5.4 switch-cost measurement.
+//!
+//! The paper codes "a tight loop that switched the processor clock as
+//! quickly as possible", inverting a GPIO before each change and timing
+//! the gaps with the DAQ. Findings reproduced here:
+//!
+//! - clock scaling takes ≈200 µs "independent of the starting or target
+//!   speed" — between ≈11,800 clock periods at 59 MHz and ≈40,000 at
+//!   200 MHz;
+//! - voltage *down* (1.5 → 1.23 V) settles in ≈250 µs (with an
+//!   undershoot before stabilising); voltage *up* is effectively
+//!   instantaneous;
+//! - both are under 2 % of a 10 ms scheduling interval.
+
+use core::fmt;
+
+use itsy_hw::clock::{V_HIGH, V_LOW};
+use itsy_hw::{ClockTable, CpuCore, Gpio, PowerParams};
+use sim_core::{SimDuration, SimTime};
+
+use crate::report;
+
+/// One measured transition.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchSample {
+    /// Source step.
+    pub from: usize,
+    /// Target step.
+    pub to: usize,
+    /// Measured stall.
+    pub stall: SimDuration,
+}
+
+/// The measurement results.
+pub struct SwitchCost {
+    /// Clock-change samples across many step pairs.
+    pub clock_samples: Vec<SwitchSample>,
+    /// Voltage-down settle time.
+    pub voltage_down: SimDuration,
+    /// Voltage-up settle time.
+    pub voltage_up: SimDuration,
+    /// GPIO edges recorded during the tight loop.
+    pub gpio_edges: usize,
+}
+
+/// Runs the tight switch loop across every adjacent and extreme pair.
+pub fn run() -> SwitchCost {
+    let table = ClockTable::sa1100();
+    let params = PowerParams::default();
+    let mut cpu = CpuCore::new(table.clone(), 0);
+    let mut gpio = Gpio::new();
+    let mut now = SimTime::ZERO;
+    let mut clock_samples = Vec::new();
+
+    // The paper's loop: toggle the pin, switch, repeat — "across many
+    // different clock settings (e.g. from 59 to 206MHz, from 191 to
+    // 206MHz and so on)".
+    let mut pairs: Vec<(usize, usize)> = (0..table.len() - 1).map(|i| (i, i + 1)).collect();
+    pairs.push((0, 10));
+    pairs.push((10, 0));
+    pairs.push((9, 10));
+    pairs.push((10, 5));
+    for (from, to) in pairs {
+        cpu.set_step(from, &params);
+        gpio.toggle(now, 0);
+        let t = cpu.set_step(to, &params);
+        now += t.stall + SimDuration::from_micros(5);
+        clock_samples.push(SwitchSample {
+            from,
+            to,
+            stall: t.stall,
+        });
+    }
+
+    // Voltage settle times, measured at a safe step.
+    cpu.set_step(5, &params);
+    let down = cpu.request(5, V_LOW, &params).expect("safe at 132.7");
+    let up = cpu.request(5, V_HIGH, &params).expect("always safe");
+
+    SwitchCost {
+        clock_samples,
+        voltage_down: down.settle,
+        voltage_up: up.settle,
+        gpio_edges: gpio.edges().len(),
+    }
+}
+
+impl SwitchCost {
+    /// Periods of the slowest clock covered by one stall.
+    pub fn periods_at_59(&self) -> u64 {
+        ClockTable::sa1100()
+            .freq(0)
+            .cycles_in(self.clock_samples[0].stall)
+    }
+
+    /// Periods of the fastest clock covered by one stall.
+    pub fn periods_at_206(&self) -> u64 {
+        ClockTable::sa1100()
+            .freq(10)
+            .cycles_in(self.clock_samples[0].stall)
+    }
+
+    /// Worst-case overhead as a fraction of a 10 ms quantum.
+    pub fn quantum_overhead(&self) -> f64 {
+        let worst = self
+            .clock_samples
+            .iter()
+            .map(|s| s.stall)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+            .max(self.voltage_down);
+        worst.as_micros() as f64 / 10_000.0
+    }
+
+    /// Writes the samples as CSV.
+    pub fn save(&self) -> std::io::Result<()> {
+        let doc = report::csv_doc(
+            &["from_step", "to_step", "stall_us"],
+            &self
+                .clock_samples
+                .iter()
+                .map(|s| {
+                    vec![
+                        s.from.to_string(),
+                        s.to.to_string(),
+                        s.stall.as_micros().to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        report::save_csv("switch_cost", "clock_switches", &doc).map(|_| ())
+    }
+}
+
+impl fmt::Display for SwitchCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Switch costs (section 5.4)")?;
+        let rows = vec![
+            vec![
+                "clock change".into(),
+                format!("{}", self.clock_samples[0].stall),
+                format!(
+                    "{} periods @59MHz, {} @206.4MHz",
+                    self.periods_at_59(),
+                    self.periods_at_206()
+                ),
+            ],
+            vec![
+                "voltage down (1.5->1.23V)".into(),
+                format!("{}", self.voltage_down),
+                "slow settle with undershoot".into(),
+            ],
+            vec![
+                "voltage up (1.23->1.5V)".into(),
+                format!("{}", self.voltage_up),
+                "effectively instantaneous".into(),
+            ],
+            vec![
+                "worst quantum overhead".into(),
+                format!("{:.1}%", self.quantum_overhead() * 100.0),
+                "paper: < 2%".into(),
+            ],
+        ];
+        f.write_str(&report::render_table(
+            &["transition", "time", "notes"],
+            &rows,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_cost_is_200us_independent_of_pair() {
+        let c = run();
+        assert!(c.clock_samples.len() > 10);
+        for s in &c.clock_samples {
+            assert_eq!(
+                s.stall.as_micros(),
+                200,
+                "{} -> {} cost {}",
+                s.from,
+                s.to,
+                s.stall
+            );
+        }
+    }
+
+    #[test]
+    fn period_counts_match_the_paper() {
+        let c = run();
+        // "between 11,200 clock periods at 59MHz and 40,000 at 200MHz"
+        // (200 us x 59 MHz = 11,800; x 206.4 MHz = 41,280).
+        assert_eq!(c.periods_at_59(), 11_800);
+        assert_eq!(c.periods_at_206(), 41_280);
+    }
+
+    #[test]
+    fn voltage_asymmetry() {
+        let c = run();
+        assert_eq!(c.voltage_down.as_micros(), 250);
+        assert_eq!(c.voltage_up, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn overhead_within_2_5_percent_of_quantum() {
+        let c = run();
+        assert!(c.quantum_overhead() <= 0.025, "{}", c.quantum_overhead());
+    }
+
+    #[test]
+    fn gpio_instrumentation_recorded_every_switch() {
+        let c = run();
+        assert_eq!(c.gpio_edges, c.clock_samples.len());
+    }
+}

@@ -1,0 +1,152 @@
+//! Table 3: memory access time in cycles per clock step.
+//!
+//! The model *is* the published table; this experiment prints it, adds
+//! the implied wall-clock latencies, and verifies the step-to-step
+//! structure the paper calls out (the non-linear jump between 162.2 and
+//! 176.9 MHz).
+
+use core::fmt;
+
+use itsy_hw::{ClockTable, MemoryTiming};
+
+use crate::report;
+
+/// One row per clock step.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Row {
+    /// Frequency, MHz.
+    pub mhz: f64,
+    /// Core cycles per individual word read.
+    pub word_cycles: u32,
+    /// Core cycles per full cache-line read.
+    pub line_cycles: u32,
+    /// Implied word latency, ns.
+    pub word_ns: f64,
+}
+
+/// The reproduced table.
+pub struct Table3 {
+    /// Eleven rows, slowest step first.
+    pub rows: Vec<Table3Row>,
+}
+
+/// Builds the table from the memory model.
+pub fn run() -> Table3 {
+    let table = ClockTable::sa1100();
+    let mem = MemoryTiming::sa1100_edo();
+    let rows = table
+        .iter()
+        .map(|(i, f)| Table3Row {
+            mhz: f.as_mhz_f64(),
+            word_cycles: mem.word_cycles(i),
+            line_cycles: mem.line_cycles(i),
+            word_ns: mem.word_latency_ns(i, f),
+        })
+        .collect();
+    Table3 { rows }
+}
+
+impl Table3 {
+    /// Writes the table as CSV.
+    pub fn save(&self) -> std::io::Result<()> {
+        let doc = report::csv_doc(
+            &["mhz", "word_cycles", "line_cycles", "word_ns"],
+            &self
+                .rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        format!("{}", r.mhz),
+                        r.word_cycles.to_string(),
+                        r.line_cycles.to_string(),
+                        format!("{:.1}", r.word_ns),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        report::save_csv("table3", "memory_cycles", &doc).map(|_| ())
+    }
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 3: memory access time in cycles")?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.1}", r.mhz),
+                    r.word_cycles.to_string(),
+                    r.line_cycles.to_string(),
+                    format!("{:.0}", r.word_ns),
+                ]
+            })
+            .collect();
+        f.write_str(&report::render_table(
+            &[
+                "Processor Freq. (MHz)",
+                "Cycles/Mem. Reference",
+                "Cycles/Cache Reference",
+                "implied ns/word",
+            ],
+            &rows,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_the_papers_rows() {
+        let t = run();
+        let expected: [(f64, u32, u32); 11] = [
+            (59.0, 11, 39),
+            (73.7, 11, 39),
+            (88.5, 11, 39),
+            (103.2, 11, 39),
+            (118.0, 13, 41),
+            (132.7, 14, 42),
+            (147.5, 14, 49),
+            (162.2, 15, 50),
+            (176.9, 18, 60),
+            (191.7, 19, 61),
+            (206.4, 20, 69),
+        ];
+        assert_eq!(t.rows.len(), 11);
+        for (row, (mhz, w, l)) in t.rows.iter().zip(expected.iter()) {
+            assert!((row.mhz - mhz).abs() < 1e-9);
+            assert_eq!(row.word_cycles, *w);
+            assert_eq!(row.line_cycles, *l);
+        }
+    }
+
+    #[test]
+    fn the_obvious_nonlinear_increase() {
+        // "there is an obvious non-linear increase between 162MHz and
+        // 176.9MHz": both columns jump more there than anywhere else.
+        let t = run();
+        let word_jump = |i: usize| t.rows[i].word_cycles - t.rows[i - 1].word_cycles;
+        let line_jump = |i: usize| t.rows[i].line_cycles - t.rows[i - 1].line_cycles;
+        let max_word = (1..11).map(word_jump).max().unwrap();
+        let max_line = (1..11).map(line_jump).max().unwrap();
+        assert_eq!(word_jump(8), max_word);
+        assert!(line_jump(8) >= max_line - 1);
+    }
+
+    #[test]
+    fn implied_latency_is_dram_scale() {
+        // EDO DRAM word reads land in the 90-190 ns range.
+        let t = run();
+        for r in &t.rows {
+            assert!(
+                (80.0..200.0).contains(&r.word_ns),
+                "{} MHz: {} ns",
+                r.mhz,
+                r.word_ns
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! General-purpose I/O pins with an edge log.
+//!
+//! The paper's measurement methodology (§4.1) toggles an SA-1100 GPIO pin
+//! at workload start; the pin is wired to the DAQ's external trigger so
+//! power samples align with execution. The switch-cost measurement
+//! (§5.4) inverts a GPIO before every clock change and uses the DAQ to
+//! time the gaps. [`Gpio`] reproduces that: pins hold a level, and every
+//! edge is recorded with its timestamp for the measurement harness to
+//! consume.
+
+use sim_core::SimTime;
+
+/// A recorded pin transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// When the edge occurred.
+    pub at: SimTime,
+    /// Which pin.
+    pub pin: u8,
+    /// The new level.
+    pub level: bool,
+}
+
+/// A bank of GPIO pins (the SA-1100 exposes 28; we model 32).
+#[derive(Debug, Clone, Default)]
+pub struct Gpio {
+    levels: u32,
+    edges: Vec<Edge>,
+}
+
+impl Gpio {
+    /// Creates a bank with all pins low.
+    pub fn new() -> Self {
+        Gpio::default()
+    }
+
+    /// Current level of `pin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin >= 32`.
+    pub fn level(&self, pin: u8) -> bool {
+        assert!(pin < 32, "pin out of range");
+        (self.levels >> pin) & 1 == 1
+    }
+
+    /// Drives `pin` to `level` at time `at`, recording an edge if the
+    /// level actually changes.
+    pub fn set(&mut self, at: SimTime, pin: u8, level: bool) {
+        if self.level(pin) != level {
+            self.levels ^= 1 << pin;
+            self.edges.push(Edge { at, pin, level });
+        }
+    }
+
+    /// Inverts `pin` at time `at`.
+    pub fn toggle(&mut self, at: SimTime, pin: u8) {
+        let next = !self.level(pin);
+        self.set(at, pin, next);
+    }
+
+    /// All recorded edges, in time order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Edges on a single pin.
+    pub fn edges_on(&self, pin: u8) -> impl Iterator<Item = &Edge> + '_ {
+        self.edges.iter().filter(move |e| e.pin == pin)
+    }
+
+    /// The first rising edge on `pin`, if any — the DAQ trigger.
+    pub fn first_rising_edge(&self, pin: u8) -> Option<SimTime> {
+        self.edges_on(pin).find(|e| e.level).map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pins_start_low() {
+        let g = Gpio::new();
+        for pin in 0..32 {
+            assert!(!g.level(pin));
+        }
+        assert!(g.edges().is_empty());
+    }
+
+    #[test]
+    fn set_records_edges_only_on_change() {
+        let mut g = Gpio::new();
+        g.set(SimTime::from_micros(1), 3, true);
+        g.set(SimTime::from_micros(2), 3, true); // no change, no edge
+        g.set(SimTime::from_micros(3), 3, false);
+        assert_eq!(g.edges().len(), 2);
+        assert!(g.edges()[0].level);
+        assert!(!g.edges()[1].level);
+    }
+
+    #[test]
+    fn toggle_alternates() {
+        let mut g = Gpio::new();
+        for i in 0..5 {
+            g.toggle(SimTime::from_micros(i), 7);
+        }
+        assert!(g.level(7)); // odd number of toggles
+        assert_eq!(g.edges_on(7).count(), 5);
+    }
+
+    #[test]
+    fn first_rising_edge_is_the_trigger() {
+        let mut g = Gpio::new();
+        g.set(SimTime::from_micros(5), 0, true);
+        g.set(SimTime::from_micros(9), 1, true);
+        assert_eq!(g.first_rising_edge(1), Some(SimTime::from_micros(9)));
+        assert_eq!(g.first_rising_edge(2), None);
+    }
+
+    #[test]
+    fn pins_are_independent() {
+        let mut g = Gpio::new();
+        g.set(SimTime::from_micros(1), 0, true);
+        assert!(g.level(0));
+        assert!(!g.level(1));
+        assert_eq!(g.edges_on(1).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pin out of range")]
+    fn out_of_range_pin_panics() {
+        let g = Gpio::new();
+        let _ = g.level(32);
+    }
+}

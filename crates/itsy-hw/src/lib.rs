@@ -1,0 +1,39 @@
+//! Hardware model of the Itsy pocket computer (version 1.5).
+//!
+//! The Itsy used in the paper is a StrongARM SA-1100 handheld with:
+//!
+//! - eleven discrete core-clock steps from 59.0 MHz to 206.4 MHz
+//!   ([`clock::ClockTable`]),
+//! - a core supply that the authors modified to run at either 1.5 V or
+//!   1.23 V ([`clock`]),
+//! - EDO DRAM whose access cost *in core cycles* grows non-linearly with
+//!   core frequency — the paper's Table 3 ([`memory::MemoryTiming`]),
+//! - an integrated power manager whose idle "nap" mode stalls the
+//!   processor pipeline but keeps peripherals powered
+//!   ([`cpu::CpuMode::Nap`]),
+//! - a measured clock-change cost of ≈200 µs (no instructions execute)
+//!   and a voltage-down settle time of ≈250 µs ([`cpu::CpuCore`]),
+//! - two AAA batteries whose deliverable capacity shrinks as the draw
+//!   grows ([`battery::Battery`]).
+//!
+//! Everything is parameterised ([`power::PowerParams`],
+//! [`memory::MemoryTiming`]) so experiments can ablate individual
+//! mechanisms; the defaults are calibrated against the anchor points the
+//! paper publishes (see `DESIGN.md` §2).
+
+pub mod battery;
+pub mod clock;
+pub mod cpu;
+pub mod gpio;
+pub mod memory;
+pub mod power;
+pub mod specs;
+pub mod work;
+
+pub use battery::Battery;
+pub use clock::{ClockTable, StepIndex, V_HIGH, V_LOW};
+pub use cpu::{CpuCore, CpuMode};
+pub use gpio::Gpio;
+pub use memory::MemoryTiming;
+pub use power::{DeviceSet, PowerModel, PowerParams};
+pub use work::{Work, WorkProgress};

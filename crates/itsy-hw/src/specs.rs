@@ -1,0 +1,99 @@
+//! The Itsy v1.5 data sheet (§2.3), as constants.
+//!
+//! Descriptive facts from the paper's hardware overview, kept here so
+//! reports and examples can cite the platform without magic numbers:
+//! "a small, high-resolution display, which offers pixels on a 0.18mm
+//! pixel pitch, and 15 levels of greyscale", "up to 128 Mbytes both of
+//! DRAM and flash memory", "the Itsy version 1.5 units used as the
+//! basis for this work have 64 Mbytes of DRAM and 32 Mbytes of flash
+//! memory", "can be powered either by an external supply or by two
+//! size AAA batteries", with the processor core on a 1.5 V supply and
+//! peripherals on 3.3 V.
+
+/// Display width in pixels.
+pub const DISPLAY_WIDTH: u32 = 200;
+
+/// Display height in pixels.
+pub const DISPLAY_HEIGHT: u32 = 320;
+
+/// Display pixel pitch in millimetres.
+pub const PIXEL_PITCH_MM: f64 = 0.18;
+
+/// Greyscale levels the panel renders.
+pub const GREYSCALE_LEVELS: u32 = 15;
+
+/// DRAM fitted to the v1.5 units used in the study, bytes.
+pub const DRAM_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Flash fitted to the v1.5 units, bytes.
+pub const FLASH_BYTES: u64 = 32 * 1024 * 1024;
+
+/// Architectural maximum for either memory type, bytes.
+pub const MAX_MEMORY_BYTES: u64 = 128 * 1024 * 1024;
+
+/// Peripheral supply rail, millivolts.
+pub const PERIPHERAL_RAIL_MV: u32 = 3_300;
+
+/// Bench-supply voltage feeding both rails in the instrumented setup,
+/// millivolts ("a single supply connected to the electrical mains",
+/// 3.1 V).
+pub const BENCH_SUPPLY_MV: u32 = 3_100;
+
+/// The timer the paper's `gettimeofday` measurements used, Hz
+/// ("the 3.6 MHz clock available on the processor" — the SA-1100's
+/// 3.6864 MHz OS timer).
+pub const OS_TIMER_HZ: u32 = 3_686_400;
+
+/// Sense resistor on the instrumented units, milliohms.
+pub const SENSE_RESISTOR_MOHM: u32 = 20;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_the_paper() {
+        assert_eq!((DISPLAY_WIDTH, DISPLAY_HEIGHT), (200, 320));
+        assert_eq!(GREYSCALE_LEVELS, 15);
+        // Physical size ~36 x 58 mm at the stated pitch.
+        let w_mm = DISPLAY_WIDTH as f64 * PIXEL_PITCH_MM;
+        assert!((35.0..37.0).contains(&w_mm));
+    }
+
+    #[test]
+    fn memory_fits_the_architecture() {
+        // Computed at runtime so the assertions exercise real values
+        // rather than constant folds.
+        let (dram, flash, max) = (DRAM_BYTES, FLASH_BYTES, MAX_MEMORY_BYTES);
+        let fits = |x: u64| x <= max;
+        assert!(fits(dram) && fits(flash));
+        assert_eq!(dram, 2 * flash);
+    }
+
+    #[test]
+    fn rails_are_consistent_with_the_models() {
+        use crate::clock::V_HIGH;
+        assert!(V_HIGH.as_mv() < PERIPHERAL_RAIL_MV);
+        assert_eq!(BENCH_SUPPLY_MV, 3_100);
+    }
+
+    #[test]
+    fn os_timer_resolves_microseconds() {
+        // 3.6864 MHz -> 0.27 us per tick: fine enough for the paper's
+        // microsecond-resolution scheduler log.
+        let tick_us = 1e6 / OS_TIMER_HZ as f64;
+        assert!(tick_us < 1.0);
+    }
+
+    #[test]
+    fn sense_resistor_matches_the_daq_default() {
+        let ohms = SENSE_RESISTOR_MOHM as f64 / 1000.0;
+        assert!((ohms - daq_default_sense()).abs() < 1e-12);
+    }
+
+    fn daq_default_sense() -> f64 {
+        // Mirror of daq::TwoChannelDaq::default().sense_ohms, kept
+        // in sync by this test (itsy-hw cannot depend on daq).
+        0.02
+    }
+}

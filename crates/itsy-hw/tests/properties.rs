@@ -1,0 +1,134 @@
+//! Property-based tests of the hardware model.
+
+use proptest::prelude::*;
+
+use itsy_hw::battery::BatteryParams;
+use itsy_hw::clock::{V_HIGH, V_LOW};
+use itsy_hw::{
+    Battery, ClockTable, CpuCore, CpuMode, DeviceSet, MemoryTiming, PowerModel, PowerParams, Work,
+};
+use sim_core::{Power, SimDuration};
+
+proptest! {
+    /// Core power is monotone in frequency and voltage.
+    #[test]
+    fn power_monotone(step_a in 0usize..11, step_b in 0usize..11) {
+        prop_assume!(step_a < step_b);
+        let table = ClockTable::sa1100();
+        let m = PowerModel::default();
+        for mode in [CpuMode::Run, CpuMode::Nap] {
+            let pa = m.core_power(mode, table.freq(step_a), V_HIGH).as_watts();
+            let pb = m.core_power(mode, table.freq(step_b), V_HIGH).as_watts();
+            prop_assert!(pa < pb);
+        }
+        let hi = m.core_power(CpuMode::Run, table.freq(step_b), V_HIGH).as_watts();
+        let lo = m.core_power(CpuMode::Run, table.freq(step_b), V_LOW).as_watts();
+        prop_assert!(lo < hi);
+    }
+
+    /// Total cycle demand is additive: time(2W) uses exactly twice the
+    /// cycles of time(W) at any step.
+    #[test]
+    fn work_cycles_scale_linearly(
+        cpu in 0.0f64..1e8,
+        refs in 0.0f64..1e6,
+        lines in 0.0f64..1e6,
+        step in 0usize..11,
+        k in 1u32..20,
+    ) {
+        let m = MemoryTiming::sa1100_edo();
+        let w = Work::new(cpu, refs, lines);
+        let scaled = w.scaled(k as f64);
+        let a = w.total_cycles(step, &m);
+        let b = scaled.total_cycles(step, &m);
+        prop_assert!((b - a * k as f64).abs() < 1e-3 * b.max(1.0));
+    }
+
+    /// Battery charge is non-increasing under drain and drains faster
+    /// at higher power.
+    #[test]
+    fn battery_monotone(p1 in 0.01f64..3.0, p2 in 0.01f64..3.0, secs in 1u64..10_000) {
+        prop_assume!(p1 < p2);
+        let mut a = Battery::new(BatteryParams::default());
+        let mut b = Battery::new(BatteryParams::default());
+        let d = SimDuration::from_secs(secs);
+        a.drain(Power::from_watts(p1), d);
+        b.drain(Power::from_watts(p2), d);
+        prop_assert!(a.remaining_joules() >= b.remaining_joules());
+        prop_assert!(a.remaining_fraction() <= 1.0);
+    }
+
+    /// Peukert derating is monotone in the draw and >= 1.
+    #[test]
+    fn derating_monotone(p1 in 0.0f64..5.0, p2 in 0.0f64..5.0) {
+        prop_assume!(p1 < p2);
+        let b = Battery::new(BatteryParams::default());
+        prop_assert!(b.derating(p1) >= 1.0);
+        prop_assert!(b.derating(p1) <= b.derating(p2));
+    }
+
+    /// Closed-form lifetime is strictly decreasing in the draw.
+    #[test]
+    fn lifetime_decreasing(p1 in 0.05f64..3.0, delta in 0.01f64..2.0) {
+        let b = Battery::new(BatteryParams::default());
+        let l1 = b.lifetime_hours_at_constant(Power::from_watts(p1));
+        let l2 = b.lifetime_hours_at_constant(Power::from_watts(p1 + delta));
+        prop_assert!(l2 < l1);
+    }
+
+    /// Clock transitions preserve invariants: the step/voltage always
+    /// land where requested (when safe), and statistics only grow.
+    #[test]
+    fn cpu_transitions_consistent(steps in proptest::collection::vec(0usize..11, 1..50)) {
+        let params = PowerParams::default();
+        let mut cpu = CpuCore::new(ClockTable::sa1100(), 0);
+        let mut switches = 0;
+        for &s in &steps {
+            let before = cpu.step();
+            let t = cpu.set_step(s, &params);
+            prop_assert_eq!(cpu.step(), s);
+            if s != before {
+                switches += 1;
+                prop_assert_eq!(t.stall.as_micros(), 200);
+            } else {
+                prop_assert!(t.stall.is_zero());
+            }
+        }
+        prop_assert_eq!(cpu.clock_switches(), switches);
+        prop_assert_eq!(cpu.total_stall().as_micros(), switches * 200);
+    }
+
+    /// System power decomposes: total == core + peripherals, and
+    /// peripherals don't depend on the clock.
+    #[test]
+    fn power_decomposition(step in 0usize..11, lcd in any::<bool>(), audio in any::<bool>()) {
+        let table = ClockTable::sa1100();
+        let m = PowerModel::default();
+        let d = DeviceSet { lcd, audio };
+        let total = m.system_power(CpuMode::Run, table.freq(step), V_HIGH, d).as_watts();
+        let core = m.core_power(CpuMode::Run, table.freq(step), V_HIGH).as_watts();
+        let periph = m.peripheral_power(d).as_watts();
+        prop_assert!((total - core - periph).abs() < 1e-12);
+    }
+}
+
+/// A battery drained in many small steps ends within a whisker of one
+/// drained in few large steps (integration is step-size robust).
+#[test]
+fn battery_integration_step_size_robust() {
+    let p = Power::from_watts(0.8);
+    let mut fine = Battery::new(BatteryParams::default());
+    let mut coarse = Battery::new(BatteryParams::default());
+    for _ in 0..3600 {
+        fine.drain(p, SimDuration::from_secs(1));
+    }
+    for _ in 0..60 {
+        coarse.drain(p, SimDuration::from_secs(60));
+    }
+    let a = fine.remaining_joules();
+    let b = coarse.remaining_joules();
+    assert!(
+        (a - b).abs() / a.abs().max(1.0) < 0.02,
+        "fine {a} vs coarse {b}"
+    );
+}

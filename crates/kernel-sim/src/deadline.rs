@@ -1,0 +1,283 @@
+//! The paper's proposed future work (§6): kernel deadline support.
+//!
+//! "Our immediate future work is to provide 'deadline' mechanisms in
+//! Linux. These deadlines are not precisely the same mechanism needed in
+//! a true real-time O/S — in a RTOS, the application does not care if
+//! the deadline is reached early, while energy scheduling would prefer
+//! for the deadline to be met as late as possible."
+//!
+//! Applications [`announce`](DeadlineRegistry::announce) upcoming work
+//! (cycles and a due time) and withdraw it on completion; the
+//! [`DeadlineGovernor`] — installed as a normal clock policy — sums a
+//! constant-rate *reservation* for each live announcement
+//! (`cycles / (due − announce time)`) and picks the slowest clock step
+//! covering the total. Running each piece of work at its reservation
+//! rate finishes it exactly at its deadline — "as late as possible",
+//! the paper's stated goal — and the step stays stable for the life of
+//! the announcement instead of ramping as the deadline approaches.
+//! This is the policy the heuristics of §5 were trying to approximate
+//! without application help.
+
+use std::sync::{Arc, Mutex};
+
+use sim_core::SimTime;
+
+use itsy_hw::{ClockTable, StepIndex};
+
+use policies::{ClockPolicy, PolicyRequest};
+
+/// One announced piece of work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Announcement {
+    /// Registry-unique handle.
+    pub id: AnnouncementId,
+    /// Remaining demand in core cycles (announcer's estimate).
+    pub cycles: f64,
+    /// When the work was announced (start of its reservation window).
+    pub announced_at: SimTime,
+    /// When it must be complete.
+    pub due: SimTime,
+}
+
+/// Handle to a live announcement, used to withdraw it on completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AnnouncementId(u64);
+
+/// Shared announcement board between applications and the governor.
+#[derive(Debug, Default)]
+pub struct DeadlineRegistry {
+    announcements: Vec<Announcement>,
+    next_id: u64,
+}
+
+/// Handle applications keep to announce work.
+pub type SharedRegistry = Arc<Mutex<DeadlineRegistry>>;
+
+impl DeadlineRegistry {
+    /// Creates an empty shared registry.
+    pub fn shared() -> SharedRegistry {
+        Arc::new(Mutex::new(DeadlineRegistry::default()))
+    }
+
+    /// Announces `cycles` of work due at `due`; the returned handle
+    /// must be passed to [`DeadlineRegistry::complete`] once the work
+    /// finishes, or the governor will keep provisioning for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is negative or not finite.
+    pub fn announce(&mut self, cycles: f64, now: SimTime, due: SimTime) -> AnnouncementId {
+        assert!(cycles.is_finite() && cycles >= 0.0, "bad announcement");
+        assert!(due > now, "deadline not in the future");
+        let id = AnnouncementId(self.next_id);
+        self.next_id += 1;
+        if cycles > 0.0 {
+            self.announcements.push(Announcement {
+                id,
+                cycles,
+                announced_at: now,
+                due,
+            });
+        }
+        id
+    }
+
+    /// Withdraws an announcement whose work has completed. Unknown ids
+    /// (already expired or zero-cycle) are ignored.
+    pub fn complete(&mut self, id: AnnouncementId) {
+        self.announcements.retain(|a| a.id != id);
+    }
+
+    /// Drops announcements whose deadline has passed.
+    pub fn expire(&mut self, now: SimTime) {
+        self.announcements.retain(|a| a.due > now);
+    }
+
+    /// Number of live announcements.
+    pub fn len(&self) -> usize {
+        self.announcements.len()
+    }
+
+    /// True if nothing is announced.
+    pub fn is_empty(&self) -> bool {
+        self.announcements.is_empty()
+    }
+
+    /// The clock rate (kHz) needed to honour every live reservation:
+    /// `Σ cycles / (due − announce time)` over announcements not yet
+    /// due. The rate of each announcement is fixed at announce time, so
+    /// the requirement does not ramp as deadlines approach.
+    pub fn required_khz(&self, now: SimTime) -> f64 {
+        self.announcements
+            .iter()
+            .filter(|a| a.due > now)
+            .map(|a| {
+                let window_us = a.due.duration_since(a.announced_at).as_micros() as f64;
+                a.cycles * 1_000.0 / window_us
+            })
+            .sum()
+    }
+}
+
+/// Clock policy driven purely by announced deadlines.
+pub struct DeadlineGovernor {
+    registry: SharedRegistry,
+    table: ClockTable,
+    /// Safety factor on the computed requirement (> 1 leaves headroom
+    /// for memory stalls and scheduler noise).
+    pub headroom: f64,
+}
+
+impl DeadlineGovernor {
+    /// Creates a governor reading from `registry`.
+    pub fn new(registry: SharedRegistry, table: ClockTable) -> Self {
+        DeadlineGovernor {
+            registry,
+            table,
+            headroom: 1.1,
+        }
+    }
+}
+
+impl ClockPolicy for DeadlineGovernor {
+    fn on_interval(
+        &mut self,
+        now: SimTime,
+        _utilization: f64,
+        current_step: StepIndex,
+    ) -> PolicyRequest {
+        let mut reg = self.registry.lock().expect("registry poisoned");
+        reg.expire(now);
+        let khz = reg.required_khz(now) * self.headroom;
+        drop(reg);
+        let target = if khz <= 0.0 {
+            self.table.slowest()
+        } else {
+            self.table
+                .step_at_least(sim_core::Frequency::from_khz(khz.ceil() as u32))
+        };
+        PolicyRequest {
+            step: (target != current_step).then_some(target),
+            voltage: None,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("Deadline(EDF, headroom {:.2})", self.headroom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registry_needs_nothing() {
+        let reg = DeadlineRegistry::default();
+        assert_eq!(reg.required_khz(SimTime::ZERO), 0.0);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn single_announcement_rate() {
+        let mut reg = DeadlineRegistry::default();
+        // 1.327e6 cycles due in 10 ms -> 132.7 MHz.
+        reg.announce(1_327_000.0, SimTime::ZERO, SimTime::from_millis(10));
+        let khz = reg.required_khz(SimTime::ZERO);
+        assert!((khz - 132_700.0).abs() < 1.0, "khz = {khz}");
+    }
+
+    #[test]
+    fn reservations_add_across_announcers() {
+        let mut reg = DeadlineRegistry::default();
+        reg.announce(590_000.0, SimTime::ZERO, SimTime::from_millis(10)); // 59 MHz
+        reg.announce(100_000.0, SimTime::ZERO, SimTime::from_millis(5)); // 20 MHz
+        let khz = reg.required_khz(SimTime::ZERO);
+        assert!((khz - 79_000.0).abs() < 1.0, "khz = {khz}");
+    }
+
+    #[test]
+    fn reservation_rate_is_fixed_at_announce_time() {
+        // The requirement must not ramp up as the deadline approaches.
+        let mut reg = DeadlineRegistry::default();
+        reg.announce(1_000_000.0, SimTime::ZERO, SimTime::from_millis(10));
+        let early = reg.required_khz(SimTime::ZERO);
+        let late = reg.required_khz(SimTime::from_millis(9));
+        assert!((early - late).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expiry_drops_past_deadlines() {
+        let mut reg = DeadlineRegistry::default();
+        reg.announce(1.0e6, SimTime::ZERO, SimTime::from_millis(10));
+        reg.expire(SimTime::from_millis(11));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn completion_withdraws_the_announcement() {
+        let mut reg = DeadlineRegistry::default();
+        let a = reg.announce(1.0e6, SimTime::ZERO, SimTime::from_millis(10));
+        let _b = reg.announce(2.0e6, SimTime::ZERO, SimTime::from_millis(20));
+        reg.complete(a);
+        assert_eq!(reg.len(), 1);
+        // Completing twice (or an unknown id) is harmless.
+        reg.complete(a);
+        assert_eq!(reg.len(), 1);
+        // The requirement now reflects only the live announcement.
+        let khz = reg.required_khz(SimTime::ZERO);
+        assert!((khz - 100_000.0).abs() < 1.0, "khz = {khz}");
+    }
+
+    #[test]
+    fn governor_picks_slowest_feasible_step() {
+        let reg = DeadlineRegistry::shared();
+        reg.lock()
+            .unwrap()
+            // 1.0e6 cycles due in 10 ms: 100 MHz, with 1.1 headroom
+            // -> 110 MHz -> step 4 (118.0).
+            .announce(1.0e6, SimTime::ZERO, SimTime::from_millis(10));
+        let mut gov = DeadlineGovernor::new(reg.clone(), ClockTable::sa1100());
+        let req = gov.on_interval(SimTime::ZERO, 0.5, 0);
+        assert_eq!(req.step, Some(4));
+    }
+
+    #[test]
+    fn governor_idles_at_slowest_without_announcements() {
+        let reg = DeadlineRegistry::shared();
+        let mut gov = DeadlineGovernor::new(reg, ClockTable::sa1100());
+        let req = gov.on_interval(SimTime::from_millis(10), 0.0, 6);
+        assert_eq!(req.step, Some(0));
+        // Already at the slowest: no request.
+        let req = gov.on_interval(SimTime::from_millis(20), 0.0, 0);
+        assert_eq!(req.step, None);
+    }
+
+    #[test]
+    fn governor_runs_as_late_as_possible_not_as_early() {
+        // Contrast with an RTOS: given lots of slack, the governor picks
+        // a *slow* clock rather than racing.
+        let reg = DeadlineRegistry::shared();
+        reg.lock()
+            .unwrap()
+            // 59 MHz-seconds of work due in 2 s: exactly 29.5 MHz needed.
+            .announce(59.0e6, SimTime::ZERO, SimTime::from_secs(2));
+        let mut gov = DeadlineGovernor::new(reg, ClockTable::sa1100());
+        let req = gov.on_interval(SimTime::ZERO, 1.0, 10);
+        assert_eq!(req.step, Some(0), "should crawl, not race");
+    }
+
+    #[test]
+    fn zero_cycle_announcements_are_ignored() {
+        let mut reg = DeadlineRegistry::default();
+        reg.announce(0.0, SimTime::ZERO, SimTime::from_millis(5));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad announcement")]
+    fn negative_announcement_rejected() {
+        let mut reg = DeadlineRegistry::default();
+        reg.announce(-1.0, SimTime::ZERO, SimTime::from_millis(5));
+    }
+}

@@ -1,0 +1,72 @@
+//! The assembled Itsy: CPU core, memory timing, power model, GPIO and
+//! (optionally) a battery.
+
+use itsy_hw::{Battery, ClockTable, CpuCore, DeviceSet, Gpio, MemoryTiming, PowerModel, StepIndex};
+
+/// One Itsy unit, ready to run a kernel.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// The SA-1100 core (clock/voltage state machine).
+    pub cpu: CpuCore,
+    /// DRAM timing (the Table 3 model by default).
+    pub mem: MemoryTiming,
+    /// The power model.
+    pub power: PowerModel,
+    /// GPIO bank (DAQ trigger and switch-cost instrumentation).
+    pub gpio: Gpio,
+    /// Optional battery; when present it drains as energy flows.
+    pub battery: Option<Battery>,
+    /// Peripheral devices currently powered.
+    pub devices: DeviceSet,
+}
+
+impl Machine {
+    /// A stock Itsy v1.5 at the given initial clock step, mains-powered
+    /// (no battery), with the given peripherals active.
+    pub fn itsy(initial_step: StepIndex, devices: DeviceSet) -> Self {
+        Machine {
+            cpu: CpuCore::new(ClockTable::sa1100(), initial_step),
+            mem: MemoryTiming::sa1100_edo(),
+            power: PowerModel::default(),
+            gpio: Gpio::new(),
+            battery: None,
+            devices,
+        }
+    }
+
+    /// Swaps in a different memory timing model (for ablations).
+    pub fn with_memory(mut self, mem: MemoryTiming) -> Self {
+        self.mem = mem;
+        self
+    }
+
+    /// Attaches a battery.
+    pub fn with_battery(mut self, battery: Battery) -> Self {
+        self.battery = Some(battery);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itsy_hw::battery::BatteryParams;
+
+    #[test]
+    fn stock_itsy_configuration() {
+        let m = Machine::itsy(10, DeviceSet::AV);
+        assert_eq!(m.cpu.step(), 10);
+        assert_eq!(m.mem.word_cycles(10), 20);
+        assert!(m.battery.is_none());
+        assert!(m.devices.lcd && m.devices.audio);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let m = Machine::itsy(0, DeviceSet::NONE)
+            .with_memory(MemoryTiming::ideal(&ClockTable::sa1100(), 10, 30))
+            .with_battery(Battery::new(BatteryParams::default()));
+        assert_eq!(m.mem.word_cycles(10), 10);
+        assert!(m.battery.is_some());
+    }
+}

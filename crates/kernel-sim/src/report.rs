@@ -1,0 +1,101 @@
+//! The output of a simulated run.
+
+use sim_core::{Energy, SimDuration, TimeSeries};
+
+use itsy_hw::StepIndex;
+
+use crate::log::{DeadlineLog, SchedLog};
+
+/// Everything a run produces: traces, logs, totals.
+#[derive(Debug)]
+pub struct KernelReport {
+    /// Per-quantum CPU utilization (non-idle time / quantum), sampled at
+    /// each timer tick — the policy's own input, and the data behind
+    /// Figures 3 and 4.
+    pub utilization: TimeSeries,
+    /// Clock frequency in MHz at each timer tick — Figure 8's series.
+    pub freq_mhz: TimeSeries,
+    /// Per-quantum executed work as a fraction of a *full-speed*
+    /// quantum — the Weiser-style work trace the oracle baselines
+    /// consume.
+    pub work_fraction: TimeSeries,
+    /// Instantaneous system power (watts) as a step function: a sample
+    /// at the start of every homogeneous segment plus a final sample at
+    /// the end of the run. The DAQ resamples this at 5 kHz.
+    pub power_w: TimeSeries,
+    /// Total non-idle time (includes clock-change stalls).
+    pub busy: SimDuration,
+    /// Total idle (nap) time.
+    pub idle: SimDuration,
+    /// Portion of `busy` spent stalled in clock changes.
+    pub stalled: SimDuration,
+    /// Portion of `busy` spent in application spin loops (busy-waiting
+    /// on wall-clock time rather than doing clock-dependent work).
+    pub spun: SimDuration,
+    /// Total energy drawn.
+    pub energy: Energy,
+    /// Portion of `energy` drawn by the processor core — the only part
+    /// voltage scaling reduces ("voltage scaling only reduces the power
+    /// used by the processor").
+    pub core_energy: Energy,
+    /// Scheduler activity log.
+    pub sched_log: SchedLog,
+    /// Deadline outcomes reported by tasks.
+    pub deadlines: DeadlineLog,
+    /// Number of clock-step changes the policy caused.
+    pub clock_switches: u64,
+    /// Number of voltage changes the policy caused.
+    pub voltage_switches: u64,
+    /// Clock step at the end of the run.
+    pub final_step: StepIndex,
+    /// Per-task CPU time: `(pid, label, busy time)` — the Unix-style
+    /// process accounting the paper's logging module enabled.
+    pub per_task_cpu: Vec<(crate::task::Pid, String, SimDuration)>,
+    /// Battery charge remaining at the end (fraction), if a battery was
+    /// attached.
+    pub battery_remaining: Option<f64>,
+    /// Simulated wall-clock length of the run.
+    pub elapsed: SimDuration,
+}
+
+impl KernelReport {
+    /// Mean utilization over the whole run.
+    pub fn mean_utilization(&self) -> f64 {
+        self.utilization.mean().unwrap_or(0.0)
+    }
+
+    /// Average power over the run.
+    pub fn mean_power_w(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.energy.as_joules() / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Busy + idle must equal elapsed time; exposed for invariant tests.
+    pub fn time_accounted(&self) -> SimDuration {
+        self.busy + self.idle
+    }
+
+    /// Peripheral (non-core) energy.
+    pub fn peripheral_energy(&self) -> Energy {
+        self.energy - self.core_energy
+    }
+
+    /// CPU time of the task with the given label, if it exists.
+    pub fn cpu_time_of(&self, label: &str) -> Option<SimDuration> {
+        self.per_task_cpu
+            .iter()
+            .find(|(_, l, _)| l == label)
+            .map(|&(_, _, t)| t)
+    }
+
+    /// Sum of per-task CPU time; equals `busy` minus clock-change
+    /// stalls (stalls are non-idle but belong to no task).
+    pub fn per_task_total(&self) -> SimDuration {
+        self.per_task_cpu
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &(_, _, t)| acc + t)
+    }
+}

@@ -1,0 +1,867 @@
+//! The kernel proper: timer ticks, round-robin scheduling, utilization
+//! accounting, the policy hook, and energy integration.
+//!
+//! Time advances in *segments* — maximal spans during which the machine
+//! state (running task, mode, clock, voltage) is constant. Segment
+//! boundaries are timer ticks, work completions, spin expirations and
+//! stall expirations. Power is integrated per segment; the power trace
+//! is a step function with one sample per power change.
+
+use std::collections::VecDeque;
+
+use sim_core::{Energy, SimDuration, SimTime, TimeSeries};
+
+use itsy_hw::clock::V_HIGH;
+use itsy_hw::{CpuMode, StepIndex, Work};
+use policies::ClockPolicy;
+
+use crate::log::{DeadlineLog, SchedLog};
+use crate::machine::Machine;
+use crate::report::KernelReport;
+use crate::task::{Pid, TaskAction, TaskBehavior, TaskCtx, IDLE_PID};
+
+/// Run-loop configuration.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Scheduling quantum; the paper forces the Linux scheduler to run
+    /// every 10 ms tick.
+    pub quantum: SimDuration,
+    /// Total simulated time.
+    pub duration: SimDuration,
+    /// Capture the scheduler activity log.
+    pub log_sched: bool,
+    /// Capture the power step-function trace (needed by the DAQ).
+    pub record_power: bool,
+    /// Stop early once an attached battery is exhausted.
+    pub stop_when_battery_empty: bool,
+    /// The paper's kernel modification: "We set the counter to one each
+    /// time we schedule a process, forcing the scheduler to be called
+    /// every 10ms." When false, the stock Linux 2.0 behaviour applies:
+    /// a process runs until its counter (see
+    /// [`KernelConfig::default_counter`]) expires, so "a process can
+    /// run for several quanta before the scheduler is called".
+    pub force_schedule_every_tick: bool,
+    /// Ticks a process may run before preemption when
+    /// `force_schedule_every_tick` is off (Linux 2.0's DEF_PRIORITY is
+    /// ~20 ticks = 200 ms).
+    pub default_counter: u32,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            quantum: SimDuration::from_millis(10),
+            duration: SimDuration::from_secs(30),
+            log_sched: true,
+            record_power: true,
+            stop_when_battery_empty: false,
+            force_schedule_every_tick: true,
+            default_counter: 20,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RunState {
+    NeedsAction,
+    Work(Work),
+    Spin(SimTime),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Status {
+    Ready,
+    Sleeping(SimTime),
+    Exited,
+}
+
+struct TaskState {
+    behavior: Box<dyn TaskBehavior>,
+    run: RunState,
+    status: Status,
+    cpu_time: SimDuration,
+    counter: u32,
+}
+
+/// The simulated kernel. Construct, [`Kernel::spawn`] workloads,
+/// optionally [`Kernel::install_policy`], then [`Kernel::run`].
+///
+/// # Examples
+///
+/// ```
+/// use itsy_hw::{DeviceSet, Work};
+/// use kernel_sim::task::FnBehavior;
+/// use kernel_sim::{Kernel, KernelConfig, Machine, TaskAction};
+/// use sim_core::SimDuration;
+///
+/// let mut kernel = Kernel::new(
+///     Machine::itsy(10, DeviceSet::NONE),
+///     KernelConfig {
+///         duration: SimDuration::from_secs(1),
+///         ..KernelConfig::default()
+///     },
+/// );
+/// kernel.spawn(Box::new(FnBehavior::new("busy", |_ctx| {
+///     TaskAction::Compute(Work::cycles(1.0e9))
+/// })));
+/// let report = kernel.run();
+/// assert_eq!(report.mean_utilization(), 1.0);
+/// assert!(report.energy.as_joules() > 0.0);
+/// ```
+pub struct Kernel {
+    machine: Machine,
+    config: KernelConfig,
+    tasks: Vec<TaskState>,
+    runqueue: VecDeque<Pid>,
+    current: Option<Pid>,
+    policy: Option<Box<dyn ClockPolicy>>,
+    deadlines: DeadlineLog,
+    sched_log: SchedLog,
+}
+
+impl Kernel {
+    /// Creates a kernel for `machine` with the given configuration.
+    pub fn new(machine: Machine, config: KernelConfig) -> Self {
+        let sched_log = SchedLog::new(config.log_sched);
+        Kernel {
+            machine,
+            config,
+            tasks: Vec::new(),
+            runqueue: VecDeque::new(),
+            current: None,
+            policy: None,
+            deadlines: DeadlineLog::default(),
+            sched_log,
+        }
+    }
+
+    /// Spawns a task; pids start at 1 (0 is the idle task).
+    pub fn spawn(&mut self, behavior: Box<dyn TaskBehavior>) -> Pid {
+        let pid = (self.tasks.len() + 1) as Pid;
+        let counter = self.config.default_counter.max(1);
+        self.tasks.push(TaskState {
+            behavior,
+            run: RunState::NeedsAction,
+            status: Status::Ready,
+            cpu_time: SimDuration::ZERO,
+            counter,
+        });
+        self.runqueue.push_back(pid);
+        pid
+    }
+
+    /// Installs the clock-scaling policy module.
+    pub fn install_policy(&mut self, policy: Box<dyn ClockPolicy>) {
+        self.policy = Some(policy);
+    }
+
+    /// Immutable access to the machine (e.g. to pre-set GPIO state).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the machine.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    fn task(&mut self, pid: Pid) -> &mut TaskState {
+        &mut self.tasks[(pid - 1) as usize]
+    }
+
+    /// True while the current task is waiting for its behavior to be
+    /// asked what to do next.
+    fn needs_action(&self) -> bool {
+        self.current
+            .is_some_and(|pid| self.tasks[(pid - 1) as usize].run == RunState::NeedsAction)
+    }
+
+    fn pick_current(&mut self, now: SimTime) {
+        if let Some(pid) = self.current {
+            if self.task(pid).status == Status::Ready {
+                return;
+            }
+            self.current = None;
+        }
+        while let Some(pid) = self.runqueue.pop_front() {
+            if self.task(pid).status == Status::Ready {
+                self.current = Some(pid);
+                let khz = self.machine.cpu.freq().as_khz();
+                self.sched_log.record(now, pid, khz);
+                return;
+            }
+        }
+        // Idle: record the idle task taking over (once per transition).
+        let khz = self.machine.cpu.freq().as_khz();
+        self.sched_log.record(now, IDLE_PID, khz);
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> KernelReport {
+        let quantum = self.config.quantum;
+        assert!(!quantum.is_zero(), "quantum must be positive");
+        let end = SimTime::ZERO + self.config.duration;
+        let mut now = SimTime::ZERO;
+        let mut next_tick = SimTime::ZERO + quantum;
+        let mut stall_until = SimTime::ZERO;
+
+        let mut utilization = TimeSeries::new("utilization");
+        let mut freq_mhz = TimeSeries::new("freq_mhz");
+        let mut work_fraction = TimeSeries::new("work_fraction");
+        let mut power_w = TimeSeries::new("watts");
+
+        let mut busy_total = SimDuration::ZERO;
+        let mut idle_total = SimDuration::ZERO;
+        let mut stalled_total = SimDuration::ZERO;
+        let mut spun_total = SimDuration::ZERO;
+        let mut energy = Energy::ZERO;
+        let mut core_energy = Energy::ZERO;
+        let mut busy_in_quantum = SimDuration::ZERO;
+        let mut work_in_quantum = Work::ZERO;
+        let mut last_power: Option<f64> = None;
+
+        let fastest = self.machine.cpu.table().fastest();
+        let full_speed_khz = self.machine.cpu.table().freq(fastest).as_khz();
+
+        // Record the initial frequency sample so Figure 8-style plots
+        // start at t = 0.
+        freq_mhz.push(now, self.machine.cpu.freq().as_mhz_f64());
+        self.pick_current(now);
+
+        let mut action_fuel_at = (now, 0u32);
+        'outer: while now < end {
+            let boundary = next_tick.min(end);
+
+            // Resolve pending behavior decisions (no time passes). A
+            // stalled core executes nothing, so the whole block is
+            // skipped mid-stall; otherwise the loop ends when the
+            // current task has real work queued or the runqueue drains.
+            while stall_until <= now && self.needs_action() {
+                let Some(pid) = self.current else { break };
+                if action_fuel_at.0 == now {
+                    action_fuel_at.1 += 1;
+                    assert!(
+                        action_fuel_at.1 < 10_000,
+                        "task {pid} livelocked at {now} (10k actions without time passing)"
+                    );
+                } else {
+                    action_fuel_at = (now, 0);
+                }
+                let freq = self.machine.cpu.freq();
+                let state = &mut self.tasks[(pid - 1) as usize];
+                let mut ctx = TaskCtx::new(now, freq, &mut self.deadlines);
+                let action = state.behavior.next_action(&mut ctx);
+                match action {
+                    TaskAction::Compute(w) if w.is_zero() => {} // ask again
+                    TaskAction::Compute(w) => state.run = RunState::Work(w),
+                    TaskAction::SpinUntil(t) if t <= now => {} // already passed
+                    TaskAction::SpinUntil(t) => state.run = RunState::Spin(t),
+                    TaskAction::SleepUntil(t) => {
+                        state.status = Status::Sleeping(t);
+                        state.run = RunState::NeedsAction;
+                        self.pick_current(now);
+                    }
+                    TaskAction::Exit => {
+                        state.status = Status::Exited;
+                        state.run = RunState::NeedsAction;
+                        self.pick_current(now);
+                    }
+                }
+            }
+
+            // Determine the segment: its end, mode, and work consumed.
+            let step = self.machine.cpu.step();
+            let freq = self.machine.cpu.freq();
+            let (seg_end, mode, work_done, completes, is_spin): (
+                SimTime,
+                CpuMode,
+                Work,
+                bool,
+                bool,
+            ) = if stall_until > now {
+                (
+                    stall_until.min(boundary),
+                    CpuMode::Stalled,
+                    Work::ZERO,
+                    false,
+                    false,
+                )
+            } else if let Some(pid) = self.current {
+                match self.task(pid).run {
+                    RunState::Work(w) => {
+                        let budget = boundary.duration_since(now);
+                        match w.execute_for(budget, step, freq, &self.machine.mem) {
+                            itsy_hw::WorkProgress::Completed(d) => {
+                                (now + d, CpuMode::Run, w, true, false)
+                            }
+                            itsy_hw::WorkProgress::Remaining(rest) => {
+                                let done = w.plus(rest.scaled(-1.0));
+                                self.task(pid).run = RunState::Work(rest);
+                                (boundary, CpuMode::Run, done, false, false)
+                            }
+                        }
+                    }
+                    RunState::Spin(t) if t <= now => {
+                        // The spin target passed while the task was
+                        // rotated out; it completes immediately.
+                        (now, CpuMode::Run, Work::ZERO, true, true)
+                    }
+                    RunState::Spin(t) => {
+                        let seg = t.min(boundary);
+                        (seg, CpuMode::Run, Work::ZERO, seg == t, true)
+                    }
+                    RunState::NeedsAction => unreachable!("resolved above"),
+                }
+            } else {
+                (boundary, CpuMode::Nap, Work::ZERO, false, false)
+            };
+
+            // Integrate power over the segment.
+            let span = seg_end.duration_since(now);
+            if !span.is_zero() {
+                let core_p = self
+                    .machine
+                    .power
+                    .core_power(mode, freq, self.machine.cpu.voltage());
+                let p = core_p + self.machine.power.peripheral_power(self.machine.devices);
+                if self.config.record_power && last_power != Some(p.as_watts()) {
+                    power_w.push(now, p.as_watts());
+                    last_power = Some(p.as_watts());
+                }
+                energy += p.over(span);
+                core_energy += core_p.over(span);
+                if let Some(batt) = self.machine.battery.as_mut() {
+                    batt.drain(p, span);
+                    if self.config.stop_when_battery_empty && batt.is_empty() {
+                        now = seg_end;
+                        break 'outer;
+                    }
+                }
+                match mode {
+                    CpuMode::Run => {
+                        busy_total += span;
+                        busy_in_quantum += span;
+                        if is_spin {
+                            spun_total += span;
+                        }
+                        if let Some(pid) = self.current {
+                            self.task(pid).cpu_time += span;
+                        }
+                    }
+                    CpuMode::Stalled => {
+                        busy_total += span;
+                        busy_in_quantum += span;
+                        stalled_total += span;
+                    }
+                    CpuMode::Nap => idle_total += span,
+                }
+                work_in_quantum = work_in_quantum.plus(work_done);
+            }
+            now = seg_end;
+
+            // Mark completions.
+            if completes {
+                if let Some(pid) = self.current {
+                    self.task(pid).run = RunState::NeedsAction;
+                }
+            }
+
+            // Timer tick.
+            if now == next_tick && now <= end {
+                // Utilization of the quantum that just ended.
+                let util = (busy_in_quantum.as_micros() as f64 / quantum.as_micros() as f64)
+                    .clamp(0.0, 1.0);
+                utilization.push(now, util);
+                let wf = work_in_quantum.total_cycles(fastest, &self.machine.mem)
+                    / (full_speed_khz as f64 * quantum.as_micros() as f64 / 1_000.0);
+                work_fraction.push(now, wf.clamp(0.0, 1.0));
+                busy_in_quantum = SimDuration::ZERO;
+                work_in_quantum = Work::ZERO;
+
+                // Wake sleepers (jiffy granularity).
+                for (i, t) in self.tasks.iter_mut().enumerate() {
+                    if let Status::Sleeping(until) = t.status {
+                        if until <= now {
+                            t.status = Status::Ready;
+                            self.runqueue.push_back((i + 1) as Pid);
+                        }
+                    }
+                }
+
+                // The clock-scaling policy module runs from the timer
+                // interrupt.
+                if let Some(policy) = self.policy.as_mut() {
+                    let cur = self.machine.cpu.step();
+                    let req = policy.on_interval(now, util, cur);
+                    let target_step = req.step.unwrap_or(cur);
+                    let target_v = req.voltage.unwrap_or(self.machine.cpu.voltage());
+                    let params = self.machine.power.params.clone();
+                    let transition = self
+                        .machine
+                        .cpu
+                        .request(target_step, target_v, &params)
+                        .unwrap_or_else(|_| {
+                            // Electrically unsafe request: the kernel
+                            // clamps the voltage up and retries.
+                            self.machine
+                                .cpu
+                                .request(target_step, V_HIGH, &params)
+                                .expect("high voltage is safe at every step")
+                        });
+                    if !transition.stall.is_zero() {
+                        stall_until = now + transition.stall;
+                    }
+                }
+                freq_mhz.push(now, self.machine.cpu.freq().as_mhz_f64());
+
+                // Scheduler entry. With the paper's modification the
+                // counter is forced to 1, so every tick preempts; stock
+                // Linux 2.0 lets the counter run down first.
+                let force = self.config.force_schedule_every_tick;
+                let default_counter = self.config.default_counter.max(1);
+                if let Some(pid) = self.current {
+                    let t = self.task(pid);
+                    let expired = if force {
+                        true
+                    } else {
+                        t.counter = t.counter.saturating_sub(1);
+                        t.counter == 0
+                    };
+                    if expired {
+                        t.counter = default_counter;
+                        self.current = None;
+                        if self.task(pid).status == Status::Ready {
+                            self.runqueue.push_back(pid);
+                        }
+                    }
+                }
+                self.pick_current(now);
+
+                next_tick += quantum;
+            }
+        }
+
+        // Close the power step function.
+        if self.config.record_power {
+            if let Some(p) = last_power {
+                power_w.push(now, p);
+            }
+        }
+
+        let per_task = self
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| ((i + 1) as Pid, t.behavior.label(), t.cpu_time))
+            .collect();
+
+        KernelReport {
+            utilization,
+            freq_mhz,
+            work_fraction,
+            power_w,
+            busy: busy_total,
+            idle: idle_total,
+            stalled: stalled_total,
+            spun: spun_total,
+            energy,
+            core_energy,
+            sched_log: self.sched_log,
+            deadlines: self.deadlines,
+            clock_switches: self.machine.cpu.clock_switches(),
+            voltage_switches: self.machine.cpu.voltage_switches(),
+            final_step: self.machine.cpu.step(),
+            per_task_cpu: per_task,
+            battery_remaining: self
+                .machine
+                .battery
+                .as_ref()
+                .map(|b| b.remaining_fraction()),
+            elapsed: now.duration_since(SimTime::ZERO),
+        }
+    }
+}
+
+/// Convenience: the step index of a frequency in the SA-1100 table.
+pub fn sa1100_step_of_mhz(mhz: f64) -> StepIndex {
+    let table = itsy_hw::ClockTable::sa1100();
+    table.step_at_least(sim_core::Frequency::from_khz((mhz * 1000.0) as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::FnBehavior;
+    use itsy_hw::DeviceSet;
+    use policies::{ClockPolicy, IntervalScheduler, PolicyRequest};
+
+    fn config(secs: u64) -> KernelConfig {
+        KernelConfig {
+            duration: SimDuration::from_secs(secs),
+            ..KernelConfig::default()
+        }
+    }
+
+    fn busy_forever() -> Box<dyn TaskBehavior> {
+        Box::new(FnBehavior::new("busy", |_ctx| {
+            TaskAction::Compute(Work::cycles(1.0e9))
+        }))
+    }
+
+    #[test]
+    fn fully_busy_task_gives_unit_utilization() {
+        let mut k = Kernel::new(Machine::itsy(10, DeviceSet::NONE), config(1));
+        k.spawn(busy_forever());
+        let r = k.run();
+        assert_eq!(r.utilization.len(), 100);
+        assert!(r.utilization.values().iter().all(|&u| u == 1.0));
+        assert_eq!(r.idle, SimDuration::ZERO);
+        assert_eq!(r.busy, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn empty_system_is_fully_idle() {
+        let k = Kernel::new(Machine::itsy(0, DeviceSet::NONE), config(1));
+        let r = k.run();
+        assert!(r.utilization.values().iter().all(|&u| u == 0.0));
+        assert_eq!(r.busy, SimDuration::ZERO);
+        assert_eq!(r.idle, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn time_is_conserved() {
+        let mut k = Kernel::new(Machine::itsy(5, DeviceSet::AV), config(2));
+        k.spawn(Box::new(FnBehavior::new("half", |ctx| {
+            // Compute 5 ms worth of cycles at 132.7 MHz, then sleep 15 ms.
+            if ctx.now.as_micros() % 20_000 < 10_000 {
+                TaskAction::Compute(Work::cycles(132_700.0 * 5.0))
+            } else {
+                TaskAction::SleepUntil(ctx.now + SimDuration::from_millis(15))
+            }
+        })));
+        let r = k.run();
+        assert_eq!(r.time_accounted(), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn half_load_measures_half_utilization() {
+        // 5 ms of work at the start of every 20 ms period.
+        let mut k = Kernel::new(Machine::itsy(5, DeviceSet::NONE), config(1));
+        k.spawn(Box::new(FnBehavior::new("period", |ctx| {
+            let period_start = SimTime::from_micros(ctx.now.as_micros() / 20_000 * 20_000);
+            if ctx.now == period_start {
+                // 5 ms of cycles at the current clock (132.7 MHz).
+                TaskAction::Compute(Work::cycles(132_700.0 * 5.0))
+            } else {
+                TaskAction::SleepUntil(period_start + SimDuration::from_millis(20))
+            }
+        })));
+        let r = k.run();
+        let mean = r.mean_utilization();
+        assert!((mean - 0.25).abs() < 0.05, "mean utilization = {mean}");
+    }
+
+    #[test]
+    fn sleep_wakes_at_jiffy_granularity() {
+        // A task sleeping until t=15ms must not run again before the
+        // 20 ms tick.
+        let mut first_wake = None;
+        let mut started = false;
+        let mut k = Kernel::new(Machine::itsy(10, DeviceSet::NONE), config(1));
+        let wake_probe = std::sync::Arc::new(std::sync::Mutex::new(None));
+        let probe = wake_probe.clone();
+        k.spawn(Box::new(FnBehavior::new("sleeper", move |ctx| {
+            if !started {
+                started = true;
+                return TaskAction::SleepUntil(SimTime::from_millis(15));
+            }
+            if first_wake.is_none() {
+                first_wake = Some(ctx.now);
+                *probe.lock().unwrap() = Some(ctx.now);
+            }
+            TaskAction::SleepUntil(ctx.now + SimDuration::from_secs(10))
+        })));
+        let _ = k.run();
+        let woke = wake_probe.lock().unwrap().expect("task never woke");
+        assert_eq!(woke, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn spin_counts_as_busy() {
+        let mut k = Kernel::new(Machine::itsy(10, DeviceSet::NONE), config(1));
+        k.spawn(Box::new(FnBehavior::new("spinner", |ctx| {
+            TaskAction::SpinUntil(ctx.now + SimDuration::from_millis(50))
+        })));
+        let r = k.run();
+        assert_eq!(r.busy, SimDuration::from_secs(1));
+        assert!(r.utilization.values().iter().all(|&u| u == 1.0));
+    }
+
+    #[test]
+    fn round_robin_shares_the_cpu() {
+        let mut k = Kernel::new(Machine::itsy(10, DeviceSet::NONE), config(1));
+        let a = k.spawn(busy_forever());
+        let b = k.spawn(busy_forever());
+        let r = k.run();
+        let count = |pid| {
+            r.sched_log
+                .records()
+                .iter()
+                .filter(|rec| rec.pid == pid)
+                .count() as f64
+        };
+        let (ca, cb) = (count(a), count(b));
+        assert!(ca > 0.0 && cb > 0.0);
+        assert!((ca / cb - 1.0).abs() < 0.1, "unfair: {ca} vs {cb}");
+    }
+
+    #[test]
+    fn best_policy_pegs_up_under_load() {
+        let mut k = Kernel::new(Machine::itsy(0, DeviceSet::NONE), config(1));
+        k.spawn(busy_forever());
+        k.install_policy(Box::new(IntervalScheduler::best_from_paper(
+            itsy_hw::ClockTable::sa1100(),
+        )));
+        let r = k.run();
+        assert_eq!(r.final_step, 10);
+        assert_eq!(r.clock_switches, 1, "one peg to the top, then stay");
+        // The frequency trace shows the jump at the first tick.
+        let vals = r.freq_mhz.values();
+        assert!((vals[0] - 59.0).abs() < 1e-9);
+        assert!((vals[2] - 206.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policy_toggling_accumulates_stalls() {
+        // A pathological policy that alternates the clock every tick.
+        struct Toggle(bool);
+        impl ClockPolicy for Toggle {
+            fn on_interval(&mut self, _: SimTime, _: f64, cur: StepIndex) -> PolicyRequest {
+                self.0 = !self.0;
+                PolicyRequest {
+                    step: Some(if cur == 0 { 10 } else { 0 }),
+                    voltage: None,
+                }
+            }
+            fn name(&self) -> String {
+                "toggle".into()
+            }
+        }
+        let mut k = Kernel::new(Machine::itsy(0, DeviceSet::NONE), config(1));
+        k.spawn(busy_forever());
+        k.install_policy(Box::new(Toggle(false)));
+        let r = k.run();
+        // 100 ticks, a switch on each (except possibly the last),
+        // 200 us stall each.
+        assert!(r.clock_switches >= 99, "switches = {}", r.clock_switches);
+        let stall_us = r.stalled.as_micros();
+        assert!(
+            (stall_us as i64 - (r.clock_switches as i64 * 200)).abs() <= 200,
+            "stalled = {stall_us}us for {} switches",
+            r.clock_switches
+        );
+    }
+
+    #[test]
+    fn energy_decomposes_into_core_and_peripherals() {
+        let mut k = Kernel::new(Machine::itsy(10, DeviceSet::AV), config(2));
+        k.spawn(busy_forever());
+        let r = k.run();
+        let core = r.core_energy.as_joules();
+        let periph = r.peripheral_energy().as_joules();
+        assert!(core > 0.0 && periph > 0.0);
+        assert!((core + periph - r.energy.as_joules()).abs() < 1e-9);
+        // Fully busy at 206.4 MHz: core = 0.64 W x 2 s, peripherals
+        // (base + LCD + audio) = 0.95 W x 2 s.
+        assert!((core - 1.28).abs() < 0.07, "core = {core}J");
+        assert!((periph - 1.90).abs() < 0.05, "periph = {periph}J");
+    }
+
+    #[test]
+    fn energy_matches_mean_power_times_time() {
+        let mut k = Kernel::new(Machine::itsy(10, DeviceSet::AV), config(2));
+        k.spawn(busy_forever());
+        let r = k.run();
+        let p = r.mean_power_w();
+        assert!((r.energy.as_joules() - p * 2.0).abs() < 1e-9);
+        // Fully busy at 206.4/1.5V with AV devices: core 0.64 W + 0.95 W.
+        assert!((1.4..1.8).contains(&p), "mean power = {p}W");
+    }
+
+    #[test]
+    fn exited_tasks_free_the_cpu() {
+        let mut k = Kernel::new(Machine::itsy(10, DeviceSet::NONE), config(1));
+        let mut done = false;
+        k.spawn(Box::new(FnBehavior::new("oneshot", move |_ctx| {
+            if done {
+                TaskAction::Exit
+            } else {
+                done = true;
+                // ~100 ms of cycles at 206.4 MHz.
+                TaskAction::Compute(Work::cycles(206_400.0 * 100.0))
+            }
+        })));
+        let r = k.run();
+        let busy_ms = r.busy.as_micros() / 1_000;
+        assert!((95..=105).contains(&busy_ms), "busy = {busy_ms}ms");
+    }
+
+    #[test]
+    fn deadline_reports_flow_through() {
+        let mut k = Kernel::new(Machine::itsy(10, DeviceSet::NONE), config(1));
+        let mut n = 0u32;
+        k.spawn(Box::new(FnBehavior::new("dl", move |ctx| {
+            n += 1;
+            if n == 1 {
+                TaskAction::Compute(Work::cycles(206_400.0 * 30.0)) // 30 ms
+            } else if n == 2 {
+                ctx.report_deadline("frame", SimTime::from_millis(20));
+                TaskAction::Exit
+            } else {
+                TaskAction::Exit
+            }
+        })));
+        let r = k.run();
+        assert_eq!(r.deadlines.len(), 1);
+        assert_eq!(r.deadlines.misses(SimDuration::ZERO), 1);
+        assert_eq!(r.deadlines.misses(SimDuration::from_millis(15)), 0);
+    }
+
+    #[test]
+    fn power_trace_is_a_step_function_with_final_sample() {
+        let mut k = Kernel::new(Machine::itsy(10, DeviceSet::NONE), config(1));
+        k.spawn(Box::new(FnBehavior::new("burst", |ctx| {
+            if ctx.now.as_micros() % 100_000 < 50_000 {
+                TaskAction::Compute(Work::cycles(206_400.0 * 10.0))
+            } else {
+                TaskAction::SleepUntil(ctx.now + SimDuration::from_millis(50))
+            }
+        })));
+        let r = k.run();
+        assert!(r.power_w.len() >= 3);
+        let times = r.power_w.times_us();
+        assert_eq!(*times.last().unwrap(), 1_000_000);
+    }
+
+    #[test]
+    fn classic_counter_scheduling_runs_longer_slices() {
+        // Stock Linux 2.0: "a process can run for several quanta before
+        // the scheduler is called". With two busy tasks and a counter
+        // of 20, context switches happen every ~200 ms instead of every
+        // tick.
+        let run = |force: bool| {
+            let mut k = Kernel::new(
+                Machine::itsy(10, DeviceSet::NONE),
+                KernelConfig {
+                    duration: SimDuration::from_secs(2),
+                    force_schedule_every_tick: force,
+                    ..KernelConfig::default()
+                },
+            );
+            k.spawn(busy_forever());
+            k.spawn(busy_forever());
+            k.run()
+        };
+        let forced = run(true);
+        let classic = run(false);
+        // Context switches = sched-log entries (one per pick).
+        assert!(
+            forced.sched_log.len() > classic.sched_log.len() * 5,
+            "forced {} vs classic {}",
+            forced.sched_log.len(),
+            classic.sched_log.len()
+        );
+        // Fairness and utilization are unaffected.
+        assert_eq!(classic.busy, SimDuration::from_secs(2));
+        let a = classic.per_task_cpu[0].2.as_secs_f64();
+        let b = classic.per_task_cpu[1].2.as_secs_f64();
+        assert!((a / b - 1.0).abs() < 0.15, "unfair: {a} vs {b}");
+        // Classic slices are ~20 ticks: consecutive same-pid log gaps.
+        let recs = classic.sched_log.records();
+        let gaps: Vec<u64> = recs.windows(2).map(|w| w[1].at_us - w[0].at_us).collect();
+        let mean_gap = gaps.iter().sum::<u64>() as f64 / gaps.len().max(1) as f64;
+        assert!(
+            (150_000.0..=260_000.0).contains(&mean_gap),
+            "mean slice = {mean_gap}us"
+        );
+    }
+
+    #[test]
+    fn per_task_accounting_adds_up() {
+        let mut k = Kernel::new(Machine::itsy(10, DeviceSet::NONE), config(1));
+        k.spawn(busy_forever());
+        k.spawn(busy_forever());
+        let r = k.run();
+        assert_eq!(r.per_task_cpu.len(), 2);
+        let a = r.per_task_cpu[0].2;
+        let b = r.per_task_cpu[1].2;
+        // Round-robin: equal shares, totalling all busy time.
+        assert_eq!(a + b, r.busy);
+        let ratio = a.as_micros() as f64 / b.as_micros() as f64;
+        assert!((ratio - 1.0).abs() < 0.05, "unfair split {a} vs {b}");
+        assert!(r.cpu_time_of("busy").is_some());
+        assert_eq!(r.per_task_total(), r.busy);
+    }
+
+    #[test]
+    fn fractional_final_quantum_is_accounted() {
+        // 25 ms = 2 full quanta + a 5 ms tail with no tick.
+        let mut k = Kernel::new(
+            Machine::itsy(10, DeviceSet::NONE),
+            KernelConfig {
+                duration: SimDuration::from_millis(25),
+                ..KernelConfig::default()
+            },
+        );
+        k.spawn(busy_forever());
+        let r = k.run();
+        assert_eq!(r.utilization.len(), 2, "only full quanta get samples");
+        assert_eq!(r.time_accounted(), SimDuration::from_millis(25));
+        assert_eq!(r.busy, SimDuration::from_millis(25));
+    }
+
+    #[test]
+    fn unsafe_voltage_requests_are_clamped_not_fatal() {
+        // A policy that asks for 1.23 V at the top step: electrically
+        // unsafe; the kernel must clamp the voltage up and proceed.
+        struct Reckless;
+        impl ClockPolicy for Reckless {
+            fn on_interval(&mut self, _: SimTime, _: f64, _: StepIndex) -> PolicyRequest {
+                PolicyRequest {
+                    step: Some(10),
+                    voltage: Some(itsy_hw::clock::V_LOW),
+                }
+            }
+            fn name(&self) -> String {
+                "reckless".into()
+            }
+        }
+        let mut k = Kernel::new(Machine::itsy(0, DeviceSet::NONE), config(1));
+        k.spawn(busy_forever());
+        k.install_policy(Box::new(Reckless));
+        let r = k.run();
+        assert_eq!(r.final_step, 10, "the step change itself is honoured");
+        // And the run completed with sane accounting.
+        assert_eq!(r.time_accounted(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn sleeping_past_the_end_is_fine() {
+        let mut k = Kernel::new(Machine::itsy(10, DeviceSet::NONE), config(1));
+        k.spawn(Box::new(FnBehavior::new("farsleeper", |ctx| {
+            TaskAction::SleepUntil(ctx.now + SimDuration::from_secs(100))
+        })));
+        let r = k.run();
+        assert_eq!(r.idle, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "livelocked")]
+    fn zero_work_livelock_is_detected() {
+        let mut k = Kernel::new(Machine::itsy(10, DeviceSet::NONE), config(1));
+        k.spawn(Box::new(FnBehavior::new("livelock", |_ctx| {
+            TaskAction::Compute(Work::ZERO)
+        })));
+        let _ = k.run();
+    }
+}

@@ -1,0 +1,129 @@
+//! Task model: the interface between workloads and the kernel.
+//!
+//! A task is a state machine driven by the kernel: whenever the task is
+//! scheduled and has nothing pending, the kernel asks its
+//! [`TaskBehavior`] for the next action. Actions mirror what the
+//! paper's applications actually do: compute a burst of work, busy-wait
+//! on the processor (the MPEG player's `< 12 ms` spin loop), sleep until
+//! a future time (relinquishing the processor), or exit.
+
+use sim_core::{Frequency, SimTime};
+
+use itsy_hw::Work;
+
+use crate::log::DeadlineLog;
+
+/// Process identifier. Pid 0 is reserved for the idle task, as in
+/// Linux.
+pub type Pid = u32;
+
+/// The idle task's pid.
+pub const IDLE_PID: Pid = 0;
+
+/// What a task wants to do next.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskAction {
+    /// Execute a burst of work (CPU cycles + memory traffic); the
+    /// behavior is asked again when it completes.
+    Compute(Work),
+    /// Busy-wait until the given instant: the CPU is non-idle but makes
+    /// no progress that depends on the clock speed. This is how the
+    /// Itsy MPEG player waits when a frame is due in less than 12 ms.
+    SpinUntil(SimTime),
+    /// Relinquish the processor until the given instant. The kernel
+    /// wakes the task at the first 10 ms timer tick at or after the
+    /// requested time (Linux 2.0 jiffy granularity).
+    SleepUntil(SimTime),
+    /// Terminate the task.
+    Exit,
+}
+
+/// Kernel-provided context for a behavior decision.
+pub struct TaskCtx<'a> {
+    /// Current simulation time (when the previous action completed).
+    pub now: SimTime,
+    /// The clock frequency currently in force (tasks may not use this to
+    /// cheat — real applications cannot read it cheaply — but adaptive
+    /// players the paper mentions do exist).
+    pub freq: Frequency,
+    deadlines: &'a mut DeadlineLog,
+}
+
+impl<'a> TaskCtx<'a> {
+    pub(crate) fn new(now: SimTime, freq: Frequency, deadlines: &'a mut DeadlineLog) -> Self {
+        TaskCtx {
+            now,
+            freq,
+            deadlines,
+        }
+    }
+
+    /// Reports that a piece of work with deadline `due` has just
+    /// completed (at `self.now`). The kernel records it; the experiment
+    /// harness later counts misses against a tolerance.
+    pub fn report_deadline(&mut self, label: &'static str, due: SimTime) {
+        self.deadlines.record(label, due, self.now);
+    }
+}
+
+/// A workload: produces the next action whenever the kernel asks.
+pub trait TaskBehavior: Send {
+    /// Decides what to do next. Called when the task is first scheduled
+    /// and after each completed action.
+    fn next_action(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction;
+
+    /// Display label (e.g. `mpeg_play`).
+    fn label(&self) -> String;
+}
+
+/// A behavior built from a closure — convenient for tests.
+pub struct FnBehavior<F: FnMut(&mut TaskCtx<'_>) -> TaskAction + Send> {
+    label: String,
+    f: F,
+}
+
+impl<F: FnMut(&mut TaskCtx<'_>) -> TaskAction + Send> FnBehavior<F> {
+    /// Wraps a closure as a behavior.
+    pub fn new(label: impl Into<String>, f: F) -> Self {
+        FnBehavior {
+            label: label.into(),
+            f,
+        }
+    }
+}
+
+impl<F: FnMut(&mut TaskCtx<'_>) -> TaskAction + Send> TaskBehavior for FnBehavior<F> {
+    fn next_action(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+        (self.f)(ctx)
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_behavior_delegates() {
+        let mut b = FnBehavior::new("t", move |_ctx| TaskAction::Exit);
+        assert_eq!(b.label(), "t");
+        let mut log = DeadlineLog::default();
+        let mut ctx = TaskCtx::new(SimTime::ZERO, Frequency::from_mhz(59), &mut log);
+        assert_eq!(b.next_action(&mut ctx), TaskAction::Exit);
+    }
+
+    #[test]
+    fn ctx_reports_deadlines() {
+        let mut log = DeadlineLog::default();
+        {
+            let mut ctx = TaskCtx::new(SimTime::from_millis(70), Frequency::from_mhz(59), &mut log);
+            ctx.report_deadline("frame", SimTime::from_millis(66));
+        }
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.records()[0].label, "frame");
+        assert!(log.records()[0].lateness() > sim_core::SimDuration::ZERO);
+    }
+}

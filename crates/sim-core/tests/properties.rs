@@ -1,0 +1,128 @@
+//! Property-based tests of the simulation substrate.
+
+use proptest::prelude::*;
+
+use sim_core::{mean, EventQueue, Rng, RunStats, SimDuration, SimTime, TimeSeries};
+
+proptest! {
+    /// The event queue is a stable priority queue: pops come out in
+    /// nondecreasing time order, and ties preserve insertion order.
+    #[test]
+    fn event_queue_orders_arbitrary_schedules(times in proptest::collection::vec(0u64..1_000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), (t, i));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        let mut count = 0;
+        while let Some(ev) = q.pop() {
+            count += 1;
+            let (t, i) = ev.event;
+            prop_assert_eq!(ev.at.as_micros(), t);
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "order violated");
+            }
+            last = Some((t, i));
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Time arithmetic: (t + a) + b == (t + b) + a and subtraction
+    /// round-trips.
+    #[test]
+    fn time_arithmetic_commutes(t in 0u64..1u64<<40, a in 0u64..1u64<<30, b in 0u64..1u64<<30) {
+        let t = SimTime::from_micros(t);
+        let a = SimDuration::from_micros(a);
+        let b = SimDuration::from_micros(b);
+        prop_assert_eq!((t + a) + b, (t + b) + a);
+        prop_assert_eq!((t + a) - a, t);
+        prop_assert_eq!((t + a).duration_since(t), a);
+    }
+
+    /// Frequency cycle arithmetic: time_for_cycles rounds up, so
+    /// cycles_in(time_for_cycles(c)) >= c, within one extra period.
+    #[test]
+    fn cycles_round_trip(khz in 1u32..1_000_000, cycles in 0u64..1u64<<40) {
+        let f = sim_core::Frequency::from_khz(khz);
+        let t = f.time_for_cycles(cycles);
+        let back = f.cycles_in(t);
+        prop_assert!(back >= cycles, "{back} < {cycles}");
+        // No more than one microsecond's worth of slack.
+        prop_assert!(back - cycles <= khz as u64 / 1_000 + 1);
+    }
+
+    /// Uniform draws respect their range for arbitrary seeds and
+    /// bounds.
+    #[test]
+    fn uniform_range_bounds(seed in any::<u64>(), lo in -1e6f64..1e6, span in 0.0f64..1e6) {
+        let mut rng = Rng::new(seed);
+        let hi = lo + span;
+        for _ in 0..100 {
+            let x = rng.uniform_range(lo, hi);
+            prop_assert!(x >= lo && (x < hi || span == 0.0));
+        }
+    }
+
+    /// below(n) is always < n and, for small n, hits every residue.
+    #[test]
+    fn below_is_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    /// The 95% CI always contains the sample mean, and widens as the
+    /// spread grows.
+    #[test]
+    fn ci_contains_mean(samples in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+        let mut rs = RunStats::new();
+        for &s in &samples {
+            rs.record(s);
+        }
+        let ci = rs.ci95().unwrap();
+        let m = mean(&samples).unwrap();
+        prop_assert!(ci.lo <= m + 1e-9 && m <= ci.hi + 1e-9);
+    }
+
+    /// TimeSeries windowing never invents points and respects bounds.
+    #[test]
+    fn series_window_subset(n in 1usize..200, cut_a in 0u64..2_000, cut_b in 0u64..2_000) {
+        let mut s = TimeSeries::new("w");
+        for i in 0..n {
+            s.push(SimTime::from_micros(i as u64 * 10), i as f64);
+        }
+        let (lo, hi) = if cut_a <= cut_b { (cut_a, cut_b) } else { (cut_b, cut_a) };
+        let w = s.window(SimTime::from_micros(lo), SimTime::from_micros(hi));
+        prop_assert!(w.len() <= s.len());
+        for (t, _) in w.iter() {
+            prop_assert!(t.as_micros() >= lo && t.as_micros() < hi);
+        }
+    }
+}
+
+/// The t-based CI covers the true mean at roughly the nominal rate for
+/// Gaussian data (sanity of the whole stats pipeline).
+#[test]
+fn ci_coverage_is_near_nominal() {
+    let mut covered = 0;
+    let trials = 400;
+    let true_mean = 10.0;
+    let mut rng = Rng::new(12345);
+    for _ in 0..trials {
+        let mut rs = RunStats::new();
+        for _ in 0..8 {
+            rs.record(rng.normal(true_mean, 2.0));
+        }
+        let ci = rs.ci95().unwrap();
+        if ci.lo <= true_mean && true_mean <= ci.hi {
+            covered += 1;
+        }
+    }
+    let rate = covered as f64 / trials as f64;
+    assert!(
+        (0.90..=0.99).contains(&rate),
+        "95% CI covered the true mean {:.1}% of the time",
+        rate * 100.0
+    );
+}

@@ -1,0 +1,149 @@
+//! `traceutil` — generate, inspect and validate input-event traces.
+//!
+//! The paper's methodology (§4.2) records timestamped input events and
+//! replays them "with millisecond accuracy" so runs are repeatable.
+//! This tool manages those traces on disk in the crate's text format:
+//!
+//! ```text
+//! traceutil generate <web|editor|interactive> [--seed N] [-o FILE]
+//! traceutil info FILE
+//! traceutil validate FILE
+//! ```
+
+use std::process::ExitCode;
+
+use sim_core::{Rng, SimDuration};
+use workloads::trace::generate_interactive_trace;
+use workloads::{InputTrace, TalkingEditorWorkload, WebWorkload};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: traceutil generate <web|editor|interactive> [--seed N] [-o FILE]");
+    eprintln!("       traceutil info FILE");
+    eprintln!("       traceutil validate FILE");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("info") => info(&args[1..]),
+        Some("validate") => validate(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn generate(args: &[String]) -> ExitCode {
+    let Some(kind) = args.first() else {
+        return usage();
+    };
+    let mut seed = 1u64;
+    let mut out: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" if i + 1 < args.len() => {
+                seed = match args[i + 1].parse() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("bad seed: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                i += 2;
+            }
+            "-o" if i + 1 < args.len() => {
+                out = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                return usage();
+            }
+        }
+    }
+    let trace = match kind.as_str() {
+        "web" => WebWorkload::browse_trace(seed),
+        "editor" => TalkingEditorWorkload::ui_trace(seed),
+        "interactive" => {
+            let mut rng = Rng::new(seed);
+            generate_interactive_trace(
+                &mut rng,
+                SimDuration::from_secs(60),
+                (500, 4_000),
+                (20.0, 250.0),
+                0.4,
+                SimDuration::from_millis(300),
+            )
+        }
+        other => {
+            eprintln!("unknown trace kind: {other}");
+            return usage();
+        }
+    };
+    let text = format!(
+        "# {} trace, seed {}, {} events over {:.1}s\n{}",
+        kind,
+        seed,
+        trace.len(),
+        trace.span().as_secs_f64(),
+        trace.to_text()
+    );
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {} events to {path}", trace.len());
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn load(args: &[String]) -> Result<InputTrace, ExitCode> {
+    let Some(path) = args.first() else {
+        return Err(usage());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    InputTrace::from_text(&text).map_err(|e| {
+        eprintln!("{path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn info(args: &[String]) -> ExitCode {
+    let trace = match load(args) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    println!("events        : {}", trace.len());
+    println!("span          : {:.3}s", trace.span().as_secs_f64());
+    let total_cycles: f64 = trace
+        .events()
+        .iter()
+        .map(|e| e.work.cpu_cycles + e.work.mem_refs + e.work.cache_lines)
+        .sum();
+    println!("work (raw)    : {total_cycles:.3e} cycle-units");
+    let with_deadline = trace.events().iter().filter(|e| e.response_us > 0).count();
+    println!("with deadlines: {with_deadline}");
+    if let (Some(first), Some(last)) = (trace.events().first(), trace.events().last()) {
+        println!("first event   : {:.3}s", first.at().as_secs_f64());
+        println!("last event    : {:.3}s", last.at().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}
+
+fn validate(args: &[String]) -> ExitCode {
+    match load(args) {
+        Ok(trace) => {
+            println!("ok: {} events", trace.len());
+            ExitCode::SUCCESS
+        }
+        Err(code) => code,
+    }
+}

@@ -1,0 +1,274 @@
+//! The TalkingEditor workload: the "mpedit" Java editor reading files
+//! aloud through the DECtalk synthesizer.
+//!
+//! §4.2: the trace opens a file through the file dialogue, has it
+//! spoken aloud, then opens and speaks a second file — 70 s total.
+//! §5.1 describes the demand structure Figure 3(d)/4(d) shows: "bursty
+//! behavior prior to the speech synthesis \[from\] dragging images,
+//! JIT'ing applications and opening files. Following this are long
+//! bursts of computation as the text is actually synthesized and sent
+//! to the OSS-compatible sound driver. Finally, more cycles are taken
+//! by the sound driver. Thus, this application is bursty at a higher
+//! level."
+//!
+//! The synthesis deadline is an audio underrun: each speech chunk must
+//! be ready before the previous chunk finishes playing.
+
+use kernel_sim::{TaskAction, TaskBehavior, TaskCtx};
+use sim_core::{Rng, SimDuration, SimTime};
+
+use crate::trace::InputTrace;
+use crate::web::Browser;
+
+/// The editor + synthesizer + poller bundle.
+pub struct TalkingEditorWorkload {
+    seed: u64,
+}
+
+impl TalkingEditorWorkload {
+    /// Creates the workload.
+    pub fn new(seed: u64) -> Self {
+        TalkingEditorWorkload { seed }
+    }
+
+    /// UI interaction trace: the file dialogue and editor fiddling
+    /// before and between the two read-alouds.
+    pub fn ui_trace(seed: u64) -> InputTrace {
+        let mut rng = Rng::new(seed ^ 0x6d70_6564);
+        let mut trace = InputTrace::new();
+        let response = SimDuration::from_millis(300);
+        // Dialogue navigation: clicks every few hundred ms, each a
+        // medium render burst (plus JIT on first use).
+        trace.record(
+            SimTime::from_millis(800),
+            crate::work_ms_at_top(700.0, 0.4),
+            SimDuration::from_millis(1_500),
+        );
+        let mut t = SimTime::from_millis(2_000);
+        loop {
+            t += SimDuration::from_millis(300 + rng.below(1_500));
+            if t >= SimTime::from_secs(12) {
+                break;
+            }
+            let ms = rng.uniform_range(30.0, 180.0);
+            trace.record(t, crate::work_ms_at_top(ms, 0.4), response);
+        }
+        // Second file selection around t = 40 s.
+        let mut t = SimTime::from_secs(40);
+        loop {
+            t += SimDuration::from_millis(300 + rng.below(1_200));
+            if t >= SimTime::from_secs(45) {
+                break;
+            }
+            let ms = rng.uniform_range(30.0, 150.0);
+            trace.record(t, crate::work_ms_at_top(ms, 0.4), response);
+        }
+        trace
+    }
+
+    /// Editor UI task, DECtalk task and the Kaffe poller.
+    pub fn into_tasks(self) -> Vec<Box<dyn TaskBehavior>> {
+        vec![
+            Box::new(Browser::new(Self::ui_trace(self.seed)).with_label("mpedit")),
+            Box::new(Dectalk::new(self.seed)),
+            Box::new(crate::java::JavaPoller::new()),
+        ]
+    }
+}
+
+/// One passage of text to speak.
+#[derive(Debug, Clone, Copy)]
+struct Passage {
+    /// When synthesis may begin (the user pressed "speak").
+    start: SimTime,
+    /// Number of speech chunks.
+    chunks: u32,
+}
+
+/// The DECtalk synthesizer process.
+///
+/// Each chunk produces `chunk_play` seconds of audio and costs about
+/// 70 % of that in CPU at the top clock — long saturated bursts, as in
+/// Figure 4(d). The synthesizer works ahead, but only up to a bounded
+/// buffer.
+pub struct Dectalk {
+    rng: Rng,
+    passages: Vec<Passage>,
+    passage: usize,
+    chunk: u32,
+    chunk_play: SimDuration,
+    pending: bool,
+    /// Playback position: when the chunk currently being synthesized is
+    /// due at the sound driver.
+    due: SimTime,
+    /// How many chunks of audio the driver buffers.
+    buffer_chunks: u32,
+}
+
+impl Dectalk {
+    /// Creates the synthesizer with the paper's two passages (first
+    /// file spoken from ~14 s, second from ~46 s).
+    pub fn new(seed: u64) -> Self {
+        Dectalk {
+            rng: Rng::new(seed ^ 0x6474_616c),
+            passages: vec![
+                Passage {
+                    start: SimTime::from_secs(14),
+                    chunks: 11,
+                },
+                Passage {
+                    start: SimTime::from_secs(46),
+                    chunks: 10,
+                },
+            ],
+            passage: 0,
+            chunk: 0,
+            chunk_play: SimDuration::from_secs(2),
+            pending: false,
+            due: SimTime::ZERO,
+            buffer_chunks: 2,
+        }
+    }
+
+    fn chunk_work(&mut self) -> itsy_hw::Work {
+        // ~1.2 s of CPU at the top clock per 2 s chunk, with variance
+        // from text difficulty; feasible at 132.7 MHz (≈1.6 s/chunk)
+        // but not at 59 MHz (≈3.6 s/chunk).
+        let ms = self.rng.uniform_range(1_050.0, 1_350.0);
+        crate::work_ms_at_top(ms, 0.35)
+    }
+}
+
+impl TaskBehavior for Dectalk {
+    fn next_action(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+        if self.pending {
+            // Chunk synthesized: underrun deadline.
+            ctx.report_deadline("speech", self.due);
+            self.pending = false;
+            self.chunk += 1;
+        }
+        let Some(p) = self.passages.get(self.passage).copied() else {
+            return TaskAction::Exit;
+        };
+        if ctx.now < p.start {
+            return TaskAction::SleepUntil(p.start);
+        }
+        if self.chunk >= p.chunks {
+            self.passage += 1;
+            self.chunk = 0;
+            return match self.passages.get(self.passage) {
+                Some(next) => TaskAction::SleepUntil(next.start),
+                None => TaskAction::Exit,
+            };
+        }
+        // Chunk k plays at start + (k+1) * chunk_play (one chunk of
+        // initial buffering).
+        self.due = p.start
+            + SimDuration::from_micros((self.chunk as u64 + 1) * self.chunk_play.as_micros());
+        // Bounded work-ahead: don't synthesize more than `buffer_chunks`
+        // ahead of playback.
+        let earliest = self.due.saturating_duration_since(SimTime::ZERO);
+        let buffer =
+            SimDuration::from_micros((self.buffer_chunks as u64 + 1) * self.chunk_play.as_micros());
+        if earliest > buffer {
+            let gate = SimTime::ZERO + (earliest - buffer);
+            if ctx.now < gate {
+                return TaskAction::SleepUntil(gate);
+            }
+        }
+        self.pending = true;
+        TaskAction::Compute(self.chunk_work())
+    }
+
+    fn label(&self) -> String {
+        "dectalk".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itsy_hw::DeviceSet;
+    use kernel_sim::{Kernel, KernelConfig, Machine};
+
+    fn run(step: usize) -> kernel_sim::KernelReport {
+        let mut k = Kernel::new(
+            Machine::itsy(step, DeviceSet::AV),
+            KernelConfig {
+                duration: SimDuration::from_secs(70),
+                ..KernelConfig::default()
+            },
+        );
+        for t in TalkingEditorWorkload::new(4).into_tasks() {
+            k.spawn(t);
+        }
+        k.run()
+    }
+
+    #[test]
+    fn structure_matches_figure_4d() {
+        let r = run(10);
+        // Early phase (0-12 s): bursty, moderate mean.
+        let early = r
+            .utilization
+            .window(SimTime::ZERO, SimTime::from_secs(12))
+            .mean()
+            .unwrap();
+        // Synthesis phase (15-30 s): long heavy bursts.
+        let synth = r
+            .utilization
+            .window(SimTime::from_secs(15), SimTime::from_secs(30))
+            .mean()
+            .unwrap();
+        // Gap between passages (~36-40 s): near idle.
+        let gap = r
+            .utilization
+            .window(SimTime::from_secs(36), SimTime::from_secs(40))
+            .mean()
+            .unwrap();
+        assert!(synth > 0.5, "synthesis mean = {synth}");
+        assert!(
+            synth > early,
+            "synthesis ({synth}) should exceed UI phase ({early})"
+        );
+        assert!(gap < 0.2, "inter-passage gap mean = {gap}");
+    }
+
+    #[test]
+    fn no_underruns_at_full_speed() {
+        let r = run(10);
+        let speech: Vec<_> = r
+            .deadlines
+            .records()
+            .iter()
+            .filter(|d| d.label == "speech")
+            .collect();
+        assert_eq!(speech.len(), 21, "11 + 10 chunks");
+        assert_eq!(r.deadlines.misses_of("speech", SimDuration::ZERO), 0);
+    }
+
+    #[test]
+    fn speech_meets_deadlines_at_132mhz() {
+        // Like MPEG, the editor tolerated 132.7 MHz in the paper.
+        let r = run(5);
+        assert_eq!(
+            r.deadlines
+                .misses_of("speech", SimDuration::from_millis(100)),
+            0,
+            "max lateness {}",
+            r.deadlines.max_lateness()
+        );
+    }
+
+    #[test]
+    fn speech_underruns_at_59mhz() {
+        // 1.4 s of top-clock work per 2 s chunk cannot fit at 59 MHz
+        // (3.5x slowdown).
+        let r = run(0);
+        assert!(
+            r.deadlines
+                .misses_of("speech", SimDuration::from_millis(100))
+                > 0
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! The Kaffe JVM's 30 ms I/O polling loop.
+//!
+//! §4.2: "The graphics library used by Java ... uses a polling I/O model
+//! to check for new input every 30 milliseconds"; §5.1: "when the Java
+//! system is 'idle,' there is a constant polling action every 30ms that
+//! takes about a millisecond to complete." The paper blames this
+//! periodic noise for part of the schedulers' instability, so the three
+//! Java workloads (Web, Chess, TalkingEditor) all run one of these
+//! alongside the application tasks.
+
+use kernel_sim::{TaskAction, TaskBehavior, TaskCtx};
+use sim_core::{SimDuration, SimTime};
+
+use itsy_hw::Work;
+
+/// The polling task.
+#[derive(Debug, Clone)]
+pub struct JavaPoller {
+    period: SimDuration,
+    work: Work,
+    next_poll: SimTime,
+    pending: bool,
+}
+
+impl JavaPoller {
+    /// A poller with the paper's parameters: every 30 ms, ~1 ms of work
+    /// (measured at the top clock step).
+    pub fn new() -> Self {
+        JavaPoller::with_period(SimDuration::from_millis(30), 1.0)
+    }
+
+    /// A poller with a custom period and per-poll work (milliseconds at
+    /// the top clock step).
+    pub fn with_period(period: SimDuration, work_ms_at_top: f64) -> Self {
+        assert!(!period.is_zero(), "poll period must be positive");
+        JavaPoller {
+            period,
+            work: crate::work_ms_at_top(work_ms_at_top, 0.3),
+            next_poll: SimTime::ZERO,
+            pending: false,
+        }
+    }
+}
+
+impl Default for JavaPoller {
+    fn default() -> Self {
+        JavaPoller::new()
+    }
+}
+
+impl TaskBehavior for JavaPoller {
+    fn next_action(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+        if self.pending {
+            // The poll's work just completed; schedule the next one.
+            self.pending = false;
+            self.next_poll += self.period;
+            return TaskAction::SleepUntil(self.next_poll);
+        }
+        if ctx.now >= self.next_poll {
+            self.pending = true;
+            TaskAction::Compute(self.work)
+        } else {
+            TaskAction::SleepUntil(self.next_poll)
+        }
+    }
+
+    fn label(&self) -> String {
+        "kaffe-poller".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itsy_hw::DeviceSet;
+    use kernel_sim::{Kernel, KernelConfig, Machine};
+
+    #[test]
+    fn poller_uses_about_three_percent_of_the_cpu_at_top_speed() {
+        let mut k = Kernel::new(
+            Machine::itsy(10, DeviceSet::NONE),
+            KernelConfig {
+                duration: SimDuration::from_secs(3),
+                ..KernelConfig::default()
+            },
+        );
+        k.spawn(Box::new(JavaPoller::new()));
+        let r = k.run();
+        let u = r.mean_utilization();
+        // 1 ms every 30 ms, but sleep granularity rounds the period up
+        // to the 10 ms jiffy, so the duty cycle sits a bit under 1/30.
+        assert!((0.02..=0.05).contains(&u), "utilization = {u}");
+    }
+
+    #[test]
+    fn poll_work_takes_longer_at_slow_clock() {
+        let mut k = Kernel::new(
+            Machine::itsy(0, DeviceSet::NONE),
+            KernelConfig {
+                duration: SimDuration::from_secs(3),
+                ..KernelConfig::default()
+            },
+        );
+        k.spawn(Box::new(JavaPoller::new()));
+        let r = k.run();
+        // At 59 MHz each poll takes ~3x as long.
+        let u = r.mean_utilization();
+        assert!((0.06..=0.15).contains(&u), "utilization = {u}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = JavaPoller::with_period(SimDuration::ZERO, 1.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Task models of the paper's workloads.
+//!
+//! §4.2 of the paper drives the Itsy with four applications — MPEG
+//! audio/video, the IceWeb browser, a Crafty chess front-end, and a
+//! "TalkingEditor" feeding the DECtalk synthesizer — replayed from
+//! timestamped input traces so runs are repeatable. The applications
+//! run over the Kaffe JVM, whose graphics library polls for input every
+//! 30 ms (about 1 ms of work per poll) — a detail the paper calls out
+//! as a source of utilization noise that destabilises the schedulers.
+//!
+//! Each module models one application's *CPU-demand structure* (what the
+//! interval schedulers actually see), calibrated to the paper's
+//! published observations:
+//!
+//! - [`mpeg`] — 15 fps, I/P-frame computation variance, the player's
+//!   12 ms sleep-or-spin rule, a separate audio process; runs without
+//!   dropping frames at 132.7 MHz but not below.
+//! - [`web`] — 190 s browse trace: page loads, scrolling bursts, long
+//!   idle reading periods.
+//! - [`chess`] — 218 s game: idle user thinking vs. 100 %-CPU Crafty
+//!   planning for fixed wall-clock budgets.
+//! - [`editor`] — 70 s: bursty UI/JIT phase, then long speech-synthesis
+//!   bursts feeding an audio driver with underrun deadlines.
+//! - [`java`] — the Kaffe 30 ms polling loop, run alongside the
+//!   interactive applications.
+//! - [`synthetic`] — square waves and constant loads for controlled
+//!   experiments (the §5.3 oscillation study).
+//! - [`trace`] — timestamped input-event traces: generation, record,
+//!   replay.
+
+pub mod chess;
+pub mod editor;
+pub mod java;
+pub mod mpeg;
+pub mod synthetic;
+pub mod trace;
+pub mod web;
+
+use itsy_hw::{DeviceSet, Work};
+use kernel_sim::{Kernel, TaskBehavior};
+use sim_core::SimDuration;
+
+pub use chess::ChessWorkload;
+pub use editor::TalkingEditorWorkload;
+pub use java::JavaPoller;
+pub use mpeg::{MpegConfig, MpegWorkload};
+pub use synthetic::{ConstantLoad, PeriodicBurst, SquareWave};
+pub use trace::{InputEvent, InputTrace};
+pub use web::WebWorkload;
+
+/// Builds a [`Work`] quantum sized to take `ms` milliseconds at the top
+/// clock step (206.4 MHz), with `line_share` of its cycle demand coming
+/// from cache-line fills (which get relatively cheaper at lower clocks).
+pub fn work_ms_at_top(ms: f64, line_share: f64) -> Work {
+    debug_assert!((0.0..=1.0).contains(&line_share));
+    let total_cycles = ms * 206_400.0; // 206.4 cycles per us.
+    let line_cycles_at_top = 69.0; // Table 3, step 10.
+    Work::new(
+        total_cycles * (1.0 - line_share),
+        0.0,
+        total_cycles * line_share / line_cycles_at_top,
+    )
+}
+
+/// The paper's four benchmark workloads, as kernel-ready bundles.
+///
+/// # Examples
+///
+/// ```
+/// use itsy_hw::DeviceSet;
+/// use kernel_sim::{Kernel, KernelConfig, Machine};
+/// use sim_core::SimDuration;
+/// use workloads::Benchmark;
+///
+/// let mut kernel = Kernel::new(
+///     Machine::itsy(10, Benchmark::Mpeg.devices()),
+///     KernelConfig {
+///         duration: SimDuration::from_secs(2),
+///         ..KernelConfig::default()
+///     },
+/// );
+/// Benchmark::Mpeg.spawn_into(&mut kernel, 42);
+/// let report = kernel.run();
+/// assert!(report.mean_utilization() > 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Benchmark {
+    /// MPEG-1 video + audio, 15 fps, looped to 60 s.
+    Mpeg,
+    /// IceWeb browsing session, 190 s.
+    Web,
+    /// Crafty chess game, 218 s.
+    Chess,
+    /// Talking editor with speech synthesis, 70 s.
+    TalkingEditor,
+}
+
+impl Benchmark {
+    /// All four benchmarks.
+    pub const ALL: [Benchmark; 4] = [
+        Benchmark::Mpeg,
+        Benchmark::Web,
+        Benchmark::Chess,
+        Benchmark::TalkingEditor,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Mpeg => "MPEG",
+            Benchmark::Web => "Web",
+            Benchmark::Chess => "Chess",
+            Benchmark::TalkingEditor => "TalkingEditor",
+        }
+    }
+
+    /// The trace length the paper reports for this workload.
+    pub fn nominal_duration(self) -> SimDuration {
+        match self {
+            Benchmark::Mpeg => SimDuration::from_secs(60),
+            Benchmark::Web => SimDuration::from_secs(190),
+            Benchmark::Chess => SimDuration::from_secs(218),
+            Benchmark::TalkingEditor => SimDuration::from_secs(70),
+        }
+    }
+
+    /// The peripherals this workload keeps powered.
+    pub fn devices(self) -> DeviceSet {
+        match self {
+            Benchmark::Mpeg => DeviceSet::AV,
+            Benchmark::Web => DeviceSet::LCD,
+            Benchmark::Chess => DeviceSet::LCD,
+            Benchmark::TalkingEditor => DeviceSet::AV,
+        }
+    }
+
+    /// The tasks making up this workload (application processes plus the
+    /// Kaffe polling loop for the Java-based ones), deterministically
+    /// derived from `seed`.
+    pub fn tasks(self, seed: u64) -> Vec<Box<dyn TaskBehavior>> {
+        match self {
+            Benchmark::Mpeg => MpegWorkload::new(MpegConfig::default(), seed).into_tasks(),
+            Benchmark::Web => WebWorkload::new(seed).into_tasks(),
+            Benchmark::Chess => ChessWorkload::new(seed).into_tasks(),
+            Benchmark::TalkingEditor => TalkingEditorWorkload::new(seed).into_tasks(),
+        }
+    }
+
+    /// Spawns this workload's tasks into a kernel.
+    pub fn spawn_into(self, kernel: &mut Kernel, seed: u64) {
+        for t in self.tasks(seed) {
+            kernel.spawn(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_ms_at_top_takes_the_requested_time_at_the_top() {
+        use itsy_hw::{ClockTable, MemoryTiming};
+        let t = ClockTable::sa1100();
+        let m = MemoryTiming::sa1100_edo();
+        for share in [0.0, 0.3, 0.9] {
+            let w = work_ms_at_top(10.0, share);
+            let d = w.time_at(10, t.freq(10), &m);
+            assert_eq!(d.as_micros(), 10_000, "share {share}");
+        }
+    }
+
+    #[test]
+    fn memory_heavy_work_shrinks_less_at_low_clock() {
+        use itsy_hw::{ClockTable, MemoryTiming};
+        let t = ClockTable::sa1100();
+        let m = MemoryTiming::sa1100_edo();
+        let lean = work_ms_at_top(10.0, 0.0).time_at(0, t.freq(0), &m);
+        let heavy = work_ms_at_top(10.0, 0.9).time_at(0, t.freq(0), &m);
+        // At 59 MHz the pure-CPU work takes 3.5x as long; the line-heavy
+        // work takes less extra time because lines cost 39 cycles
+        // instead of 69 there.
+        assert!(heavy < lean);
+    }
+
+    #[test]
+    fn benchmark_metadata() {
+        assert_eq!(Benchmark::Mpeg.name(), "MPEG");
+        assert_eq!(
+            Benchmark::Chess.nominal_duration(),
+            SimDuration::from_secs(218)
+        );
+        assert!(Benchmark::Mpeg.devices().audio);
+        assert!(!Benchmark::Web.devices().audio);
+        assert_eq!(Benchmark::ALL.len(), 4);
+    }
+
+    #[test]
+    fn all_benchmarks_produce_tasks() {
+        for b in Benchmark::ALL {
+            let tasks = b.tasks(42);
+            assert!(!tasks.is_empty(), "{} has no tasks", b.name());
+        }
+    }
+}

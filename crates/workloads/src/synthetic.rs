@@ -1,0 +1,266 @@
+//! Synthetic loads for controlled experiments.
+//!
+//! §5.3's stability analysis idealizes the MPEG player as "a simple
+//! repeating rectangle wave, busy for 9 cycles, and then idle for 1
+//! cycle". [`SquareWave`] realizes that load on the simulated kernel so
+//! the analytical prediction (sustained oscillation of AVG_N) can be
+//! checked empirically; [`ConstantLoad`] and [`PeriodicBurst`] cover
+//! calibration and ablation needs.
+
+use kernel_sim::{TaskAction, TaskBehavior, TaskCtx};
+use sim_core::{SimDuration, SimTime};
+
+use itsy_hw::Work;
+
+/// Busy for `busy_quanta` scheduling quanta, idle for `idle_quanta`,
+/// repeating. "Busy" means spinning (wall-clock bound), so the duty
+/// cycle is exact at any clock speed.
+#[derive(Debug, Clone)]
+pub struct SquareWave {
+    busy: SimDuration,
+    idle: SimDuration,
+    in_busy: bool,
+    phase_end: SimTime,
+}
+
+impl SquareWave {
+    /// A wave with the given busy/idle quantum counts (10 ms quanta).
+    ///
+    /// # Panics
+    ///
+    /// Panics if both counts are zero.
+    pub fn quanta(busy_quanta: u64, idle_quanta: u64) -> Self {
+        assert!(busy_quanta + idle_quanta > 0, "degenerate wave");
+        SquareWave {
+            busy: SimDuration::from_millis(10 * busy_quanta),
+            idle: SimDuration::from_millis(10 * idle_quanta),
+            in_busy: false,
+            phase_end: SimTime::ZERO,
+        }
+    }
+}
+
+impl TaskBehavior for SquareWave {
+    fn next_action(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+        if ctx.now >= self.phase_end {
+            if self.in_busy {
+                self.in_busy = false;
+                self.phase_end = ctx.now + self.idle;
+                if self.idle.is_zero() {
+                    self.in_busy = true;
+                    self.phase_end = ctx.now + self.busy;
+                    return TaskAction::SpinUntil(self.phase_end);
+                }
+                return TaskAction::SleepUntil(self.phase_end);
+            }
+            self.in_busy = true;
+            self.phase_end = ctx.now + self.busy;
+            if self.busy.is_zero() {
+                self.in_busy = false;
+                self.phase_end = ctx.now + self.idle;
+                return TaskAction::SleepUntil(self.phase_end);
+            }
+            return TaskAction::SpinUntil(self.phase_end);
+        }
+        if self.in_busy {
+            TaskAction::SpinUntil(self.phase_end)
+        } else {
+            TaskAction::SleepUntil(self.phase_end)
+        }
+    }
+
+    fn label(&self) -> String {
+        "square-wave".to_string()
+    }
+}
+
+/// Spins a fixed fraction of every quantum — a utilization clamp.
+#[derive(Debug, Clone)]
+pub struct ConstantLoad {
+    /// Target utilization in `[0, 1]`.
+    utilization: f64,
+    quantum: SimDuration,
+}
+
+impl ConstantLoad {
+    /// A load with the given duty cycle per 10 ms quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is outside `[0, 1]`.
+    pub fn new(utilization: f64) -> Self {
+        assert!((0.0..=1.0).contains(&utilization), "bad utilization");
+        ConstantLoad {
+            utilization,
+            quantum: SimDuration::from_millis(10),
+        }
+    }
+}
+
+impl TaskBehavior for ConstantLoad {
+    fn next_action(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+        let q_us = self.quantum.as_micros();
+        let quantum_start = SimTime::from_micros(ctx.now.as_micros() / q_us * q_us);
+        let busy_end =
+            quantum_start + SimDuration::from_micros((q_us as f64 * self.utilization) as u64);
+        if ctx.now < busy_end {
+            TaskAction::SpinUntil(busy_end)
+        } else {
+            TaskAction::SleepUntil(quantum_start + self.quantum)
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("constant-{:.0}%", self.utilization * 100.0)
+    }
+}
+
+/// A fixed amount of *work* every `period` — a deadline-style load
+/// whose utilization depends on the clock (unlike [`SquareWave`]).
+#[derive(Debug, Clone)]
+pub struct PeriodicBurst {
+    work: Work,
+    period: SimDuration,
+    k: u64,
+    pending: bool,
+    /// Deadline label under which completions are reported.
+    pub deadline_label: &'static str,
+}
+
+impl PeriodicBurst {
+    /// Creates the load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(work: Work, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        PeriodicBurst {
+            work,
+            period,
+            k: 0,
+            pending: false,
+            deadline_label: "burst",
+        }
+    }
+
+    fn due(&self) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros((self.k + 1) * self.period.as_micros())
+    }
+}
+
+impl TaskBehavior for PeriodicBurst {
+    fn next_action(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+        if self.pending {
+            ctx.report_deadline(self.deadline_label, self.due());
+            self.pending = false;
+            self.k += 1;
+            let start = self.due() - self.period;
+            if ctx.now < start {
+                return TaskAction::SleepUntil(start);
+            }
+        }
+        self.pending = true;
+        TaskAction::Compute(self.work)
+    }
+
+    fn label(&self) -> String {
+        "periodic-burst".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itsy_hw::DeviceSet;
+    use kernel_sim::{Kernel, KernelConfig, Machine};
+
+    fn kernel(step: usize, secs: u64) -> Kernel {
+        Kernel::new(
+            Machine::itsy(step, DeviceSet::NONE),
+            KernelConfig {
+                duration: SimDuration::from_secs(secs),
+                ..KernelConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn square_wave_9_1_has_90_percent_duty() {
+        let mut k = kernel(10, 2);
+        k.spawn(Box::new(SquareWave::quanta(9, 1)));
+        let r = k.run();
+        let u = r.mean_utilization();
+        assert!((u - 0.9).abs() < 0.02, "duty = {u}");
+        // And the per-quantum series really is a square wave: quanta
+        // are either fully busy or fully idle.
+        let extremes = r
+            .utilization
+            .values()
+            .iter()
+            .filter(|&&v| !(0.05..=0.95).contains(&v))
+            .count();
+        assert!(extremes as f64 / r.utilization.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn square_wave_duty_is_clock_invariant() {
+        for step in [0, 10] {
+            let mut k = kernel(step, 2);
+            k.spawn(Box::new(SquareWave::quanta(3, 7)));
+            let u = k.run().mean_utilization();
+            assert!((u - 0.3).abs() < 0.02, "step {step}: duty = {u}");
+        }
+    }
+
+    #[test]
+    fn constant_load_holds_its_level() {
+        let mut k = kernel(5, 2);
+        k.spawn(Box::new(ConstantLoad::new(0.6)));
+        let r = k.run();
+        let u = r.mean_utilization();
+        assert!((u - 0.6).abs() < 0.03, "u = {u}");
+        // Every quantum individually sits near the target.
+        for v in r.utilization.values() {
+            assert!((v - 0.6).abs() < 0.11, "quantum = {v}");
+        }
+    }
+
+    #[test]
+    fn periodic_burst_utilization_scales_with_clock() {
+        let run = |step| {
+            let mut k = kernel(step, 2);
+            // 10 ms of top-clock work every 50 ms.
+            k.spawn(Box::new(PeriodicBurst::new(
+                crate::work_ms_at_top(10.0, 0.0),
+                SimDuration::from_millis(50),
+            )));
+            k.run().mean_utilization()
+        };
+        let fast = run(10);
+        let slow = run(0);
+        assert!((fast - 0.2).abs() < 0.03, "fast = {fast}");
+        assert!(
+            (slow - 0.7).abs() < 0.05,
+            "slow = {slow} (3.5x the cycles per burst)"
+        );
+    }
+
+    #[test]
+    fn periodic_burst_misses_when_infeasible() {
+        let mut k = kernel(0, 2);
+        // 30 ms of top-clock work every 50 ms: impossible at 59 MHz.
+        k.spawn(Box::new(PeriodicBurst::new(
+            crate::work_ms_at_top(30.0, 0.0),
+            SimDuration::from_millis(50),
+        )));
+        let r = k.run();
+        assert!(r.deadlines.misses(SimDuration::from_millis(20)) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_zero_wave_rejected() {
+        let _ = SquareWave::quanta(0, 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! The Web workload: the IceWeb browser replaying a browse trace.
+//!
+//! §4.2: the user opens a stored news article, scrolls through it
+//! reading, returns to the root menu, and opens a long HTML technical
+//! report — 190 s of activity. CPU demand is page-load bursts (parse,
+//! layout, JIT), scroll-triggered render bursts, and long idle reading
+//! gaps filled only by the Kaffe 30 ms poll.
+
+use kernel_sim::{TaskAction, TaskBehavior, TaskCtx};
+use sim_core::{Rng, SimDuration, SimTime};
+
+use crate::trace::{InputTrace, TraceReplayer};
+
+/// The browser + poller bundle.
+pub struct WebWorkload {
+    seed: u64,
+}
+
+impl WebWorkload {
+    /// Creates the workload.
+    pub fn new(seed: u64) -> Self {
+        WebWorkload { seed }
+    }
+
+    /// Generates the deterministic 190 s browse trace the tasks replay.
+    pub fn browse_trace(seed: u64) -> InputTrace {
+        let mut rng = Rng::new(seed ^ 0x7765_6221);
+        let mut trace = InputTrace::new();
+        let response = SimDuration::from_millis(300);
+        // Opening the first article: a heavy page-load burst.
+        trace.record(
+            SimTime::from_millis(1_200),
+            crate::work_ms_at_top(900.0, 0.45),
+            SimDuration::from_millis(1_500),
+        );
+        // Scroll-read through the article (~90 s). The gap is drawn
+        // first and the bound checked before recording so the phase can
+        // never overrun the fixed-time events that follow it.
+        let mut t = SimTime::from_millis(3_500);
+        loop {
+            t += SimDuration::from_millis(800 + rng.below(4_200));
+            if t >= SimTime::from_secs(90) {
+                break;
+            }
+            let ms = rng.uniform_range(40.0, 220.0);
+            trace.record(t, crate::work_ms_at_top(ms, 0.45), response);
+        }
+        // Back to the root menu.
+        trace.record(
+            SimTime::from_secs(92),
+            crate::work_ms_at_top(150.0, 0.45),
+            response,
+        );
+        // Open the table-heavy technical report: an even bigger load.
+        trace.record(
+            SimTime::from_millis(95_000),
+            crate::work_ms_at_top(1_600.0, 0.5),
+            SimDuration::from_millis(2_500),
+        );
+        // Scroll-read the report until 188 s.
+        let mut t = SimTime::from_secs(99);
+        loop {
+            t += SimDuration::from_millis(1_000 + rng.below(5_000));
+            if t >= SimTime::from_secs(188) {
+                break;
+            }
+            let ms = rng.uniform_range(60.0, 300.0);
+            trace.record(t, crate::work_ms_at_top(ms, 0.5), response);
+        }
+        trace
+    }
+
+    /// The browser task and the Kaffe poller.
+    pub fn into_tasks(self) -> Vec<Box<dyn TaskBehavior>> {
+        vec![
+            Box::new(Browser::new(Self::browse_trace(self.seed))),
+            Box::new(crate::java::JavaPoller::new()),
+        ]
+    }
+}
+
+/// A trace-replaying interactive application: sleeps until the next
+/// input event, performs its work, and reports the interactive
+/// deadline. Reused by the editor workload.
+pub struct Browser {
+    replay: TraceReplayer,
+    /// The event currently being serviced.
+    in_flight: Option<crate::trace::InputEvent>,
+    label: String,
+}
+
+impl Browser {
+    /// Creates a replayer task for `trace`.
+    pub fn new(trace: InputTrace) -> Self {
+        Browser {
+            replay: TraceReplayer::new(trace),
+            in_flight: None,
+            label: "iceweb".to_string(),
+        }
+    }
+
+    /// Same behavior with a different display label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+impl TaskBehavior for Browser {
+    fn next_action(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+        if let Some(ev) = self.in_flight.take() {
+            if let Some(due) = ev.due() {
+                ctx.report_deadline("input", due);
+            }
+        }
+        if let Some(ev) = self.replay.pop_due(ctx.now) {
+            self.in_flight = Some(ev);
+            return TaskAction::Compute(ev.work);
+        }
+        match self.replay.peek() {
+            Some(next) => TaskAction::SleepUntil(next.at()),
+            None => TaskAction::Exit,
+        }
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itsy_hw::DeviceSet;
+    use kernel_sim::{Kernel, KernelConfig, Machine};
+
+    fn run(secs: u64, step: usize) -> kernel_sim::KernelReport {
+        let mut k = Kernel::new(
+            Machine::itsy(step, DeviceSet::LCD),
+            KernelConfig {
+                duration: SimDuration::from_secs(secs),
+                ..KernelConfig::default()
+            },
+        );
+        for t in WebWorkload::new(9).into_tasks() {
+            k.spawn(t);
+        }
+        k.run()
+    }
+
+    #[test]
+    fn trace_spans_the_paper_duration() {
+        let t = WebWorkload::browse_trace(9);
+        let span = t.span().as_secs_f64();
+        assert!((180.0..=190.0).contains(&span), "span = {span}s");
+        assert!(t.len() > 40, "events = {}", t.len());
+    }
+
+    #[test]
+    fn utilization_is_bursty_with_idle_reading() {
+        let r = run(90, 10);
+        let vals = r.utilization.values();
+        let busy = vals.iter().filter(|&&u| u > 0.8).count();
+        let idle = vals.iter().filter(|&&u| u < 0.15).count();
+        assert!(busy > 10, "render bursts missing");
+        assert!(
+            idle > vals.len() / 2,
+            "reading time should dominate: {idle}/{}",
+            vals.len()
+        );
+        // Overall it is a light workload.
+        let mean = r.mean_utilization();
+        assert!((0.02..=0.3).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn interactive_deadlines_met_at_full_speed() {
+        let r = run(190, 10);
+        assert!(r.deadlines.len() > 40);
+        // Jiffy rounding can delay the wake that starts a burst by up
+        // to 10 ms; anything beyond that margin is a real miss.
+        assert_eq!(
+            r.deadlines.misses(SimDuration::from_millis(50)),
+            0,
+            "max lateness {}",
+            r.deadlines.max_lateness()
+        );
+    }
+
+    #[test]
+    fn browser_exits_when_trace_is_done() {
+        let r = run(190, 10);
+        // After ~188 s only the poller remains; the tail quanta are
+        // near-idle.
+        let tail = r
+            .utilization
+            .window(SimTime::from_secs(189), SimTime::from_secs(190));
+        assert!(tail.mean().unwrap() < 0.2);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let a = WebWorkload::browse_trace(5);
+        let b = WebWorkload::browse_trace(5);
+        assert_eq!(a, b);
+        let c = WebWorkload::browse_trace(6);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the workload infrastructure.
+
+use proptest::prelude::*;
+
+use itsy_hw::Work;
+use sim_core::{SimDuration, SimTime};
+use workloads::trace::generate_interactive_trace;
+use workloads::{InputTrace, MpegConfig};
+
+proptest! {
+    /// The text trace format round-trips arbitrary traces.
+    #[test]
+    fn trace_text_round_trip(
+        events in proptest::collection::vec(
+            (0u64..1_000_000, 0.0f64..1e9, 0.0f64..1e6, 0.0f64..1e6, 0u64..1_000_000),
+            0..50,
+        ),
+    ) {
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|e| e.0);
+        let mut trace = InputTrace::new();
+        for (at, cpu, refs, lines, resp) in sorted {
+            trace.record(
+                SimTime::from_micros(at),
+                Work::new(cpu, refs, lines),
+                SimDuration::from_micros(resp),
+            );
+        }
+        let back = InputTrace::from_text(&trace.to_text()).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Generated interactive traces respect their gap and work bounds
+    /// for arbitrary parameters.
+    #[test]
+    fn generated_trace_bounds(
+        seed in any::<u64>(),
+        gap_lo in 100u64..1_000,
+        gap_extra in 1u64..2_000,
+        span_secs in 1u64..20,
+    ) {
+        let mut rng = sim_core::Rng::new(seed);
+        let trace = generate_interactive_trace(
+            &mut rng,
+            SimDuration::from_secs(span_secs),
+            (gap_lo, gap_lo + gap_extra),
+            (1.0, 5.0),
+            0.3,
+            SimDuration::from_millis(300),
+        );
+        prop_assert!(trace.span() <= SimDuration::from_secs(span_secs));
+        let times: Vec<u64> = trace.events().iter().map(|e| e.at_us).collect();
+        for w in times.windows(2) {
+            let gap = w[1] - w[0];
+            prop_assert!(gap >= gap_lo * 1_000);
+            prop_assert!(gap <= (gap_lo + gap_extra) * 1_000);
+        }
+    }
+
+    /// MPEG frame demand stays positive and near its configured mean
+    /// for any seed.
+    #[test]
+    fn mpeg_demand_sane_for_any_seed(seed in any::<u64>()) {
+        use kernel_sim::{Kernel, KernelConfig, Machine};
+        let mut k = Kernel::new(
+            Machine::itsy(10, itsy_hw::DeviceSet::AV),
+            KernelConfig {
+                duration: SimDuration::from_secs(3),
+                record_power: false,
+                log_sched: false,
+                ..KernelConfig::default()
+            },
+        );
+        for t in workloads::MpegWorkload::new(MpegConfig::default(), seed).into_tasks() {
+            k.spawn(t);
+        }
+        let r = k.run();
+        let u = r.mean_utilization();
+        prop_assert!((0.55..=0.95).contains(&u), "seed {seed}: utilization {u}");
+        prop_assert_eq!(r.time_accounted(), SimDuration::from_secs(3));
+    }
+}
+
+/// Distinct benchmarks produce distinct utilization signatures.
+#[test]
+fn benchmarks_are_distinguishable() {
+    use kernel_sim::{Kernel, KernelConfig, Machine};
+    use workloads::Benchmark;
+    // Signature: (mean utilization, fraction of saturated quanta).
+    let mut sigs = Vec::new();
+    for b in Benchmark::ALL {
+        let mut k = Kernel::new(
+            Machine::itsy(10, b.devices()),
+            KernelConfig {
+                duration: SimDuration::from_secs(60),
+                record_power: false,
+                log_sched: false,
+                ..KernelConfig::default()
+            },
+        );
+        b.spawn_into(&mut k, 5);
+        let r = k.run();
+        let vals = r.utilization.values();
+        let saturated = vals.iter().filter(|&&u| u > 0.95).count() as f64 / vals.len() as f64;
+        sigs.push((b.name(), r.mean_utilization(), saturated));
+    }
+    for i in 0..sigs.len() {
+        for j in i + 1..sigs.len() {
+            let mean_gap = (sigs[i].1 - sigs[j].1).abs();
+            let sat_gap = (sigs[i].2 - sigs[j].2).abs();
+            assert!(
+                mean_gap > 0.05 || sat_gap > 0.05,
+                "{} and {} look identical ({:?})",
+                sigs[i].0,
+                sigs[j].0,
+                sigs
+            );
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! CLI smoke tests for the `traceutil` binary.
+
+use std::process::Command;
+
+fn traceutil() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_traceutil"))
+}
+
+#[test]
+fn generate_info_validate_round_trip() {
+    let dir = std::env::temp_dir().join("itsy-dvs-traceutil-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("web.trace");
+
+    let out = traceutil()
+        .args(["generate", "web", "--seed", "5", "-o"])
+        .arg(&path)
+        .output()
+        .expect("traceutil runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = traceutil().arg("info").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("events"), "{text}");
+    assert!(text.contains("span"), "{text}");
+
+    let out = traceutil().arg("validate").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("ok:"));
+}
+
+#[test]
+fn generation_is_deterministic_per_seed() {
+    let gen = |seed: &str| {
+        let out = traceutil()
+            .args(["generate", "interactive", "--seed", seed])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        out.stdout
+    };
+    assert_eq!(gen("9"), gen("9"));
+    assert_ne!(gen("9"), gen("10"));
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = traceutil().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = traceutil().args(["generate", "nosuch"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = traceutil()
+        .args(["validate", "/nonexistent/file.trace"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn corrupt_trace_fails_validation() {
+    let dir = std::env::temp_dir().join("itsy-dvs-traceutil-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corrupt.trace");
+    std::fs::write(&path, "100 1 2 3 4\nnot a trace line\n").unwrap();
+    let out = traceutil().arg("validate").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+}

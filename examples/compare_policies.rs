@@ -1,0 +1,107 @@
+//! Write a custom clock-scaling policy and race it against the paper's,
+//! across all four workloads.
+//!
+//! The custom policy here is a "ramp" governor: it climbs aggressively
+//! (double) when the weighted utilization is high but descends one step
+//! at a time, trading some energy for fewer deadline risks.
+//!
+//! ```text
+//! cargo run --release --example compare_policies
+//! ```
+
+use itsy_dvs::apps::Benchmark;
+use itsy_dvs::dvs::{AvgN, ClockPolicy, Hysteresis, IntervalScheduler, PolicyRequest, SpeedChange};
+use itsy_dvs::hw::{ClockTable, StepIndex};
+use itsy_dvs::kernel::{Kernel, KernelConfig, Machine};
+use itsy_dvs::sim::{SimDuration, SimTime};
+
+/// A hand-rolled policy implementing [`ClockPolicy`] directly: pegs to
+/// the top on any saturated quantum, creeps down otherwise.
+struct Skittish {
+    table: ClockTable,
+}
+
+impl ClockPolicy for Skittish {
+    fn on_interval(&mut self, _now: SimTime, util: f64, cur: StepIndex) -> PolicyRequest {
+        let target = if util >= 0.99 {
+            self.table.fastest()
+        } else if util < 0.80 {
+            self.table.clamp(cur as isize - 1)
+        } else {
+            cur
+        };
+        PolicyRequest {
+            step: (target != cur).then_some(target),
+            voltage: None,
+        }
+    }
+
+    fn name(&self) -> String {
+        "Skittish(>=99% peg up, <80% one down)".into()
+    }
+}
+
+fn run(benchmark: Benchmark, policy: Option<Box<dyn ClockPolicy>>) -> (f64, usize, u64) {
+    let mut kernel = Kernel::new(
+        Machine::itsy(10, benchmark.devices()),
+        KernelConfig {
+            duration: SimDuration::from_secs(30),
+            ..KernelConfig::default()
+        },
+    );
+    benchmark.spawn_into(&mut kernel, 7);
+    if let Some(p) = policy {
+        kernel.install_policy(p);
+    }
+    let r = kernel.run();
+    (
+        r.energy.as_joules(),
+        r.deadlines.misses(SimDuration::from_millis(100)),
+        r.clock_switches,
+    )
+}
+
+fn main() {
+    let table = ClockTable::sa1100();
+    println!(
+        "{:<14} {:<38} {:>9} {:>7} {:>9}",
+        "workload", "policy", "energy", "misses", "switches"
+    );
+    for b in Benchmark::ALL {
+        let contenders: Vec<(String, Option<Box<dyn ClockPolicy>>)> = vec![
+            ("constant 206.4 MHz".into(), None),
+            (
+                "PAST, peg-peg, >98%/<93% (paper)".into(),
+                Some(Box::new(IntervalScheduler::best_from_paper(table.clone()))),
+            ),
+            (
+                "AVG_3, double-one, Pering 70%/50%".into(),
+                Some(Box::new(IntervalScheduler::new(
+                    Box::new(AvgN::new(3)),
+                    Hysteresis::PERING,
+                    SpeedChange::Double,
+                    SpeedChange::One,
+                    table.clone(),
+                ))),
+            ),
+            (
+                "Skittish (custom)".into(),
+                Some(Box::new(Skittish {
+                    table: table.clone(),
+                })),
+            ),
+        ];
+        for (name, policy) in contenders {
+            let (energy, misses, switches) = run(b, policy);
+            println!(
+                "{:<14} {:<38} {:>7.1} J {:>7} {:>9}",
+                b.name(),
+                name,
+                energy,
+                misses,
+                switches
+            );
+        }
+        println!();
+    }
+}

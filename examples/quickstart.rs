@@ -1,0 +1,54 @@
+//! Quickstart: simulate the Itsy playing MPEG under the paper's best
+//! clock-scheduling policy and print what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use itsy_dvs::apps::Benchmark;
+use itsy_dvs::dvs::IntervalScheduler;
+use itsy_dvs::hw::ClockTable;
+use itsy_dvs::kernel::{Kernel, KernelConfig, Machine};
+use itsy_dvs::sim::SimDuration;
+
+fn main() {
+    // 1. Build an Itsy: SA-1100 at 206.4 MHz, display + audio powered.
+    let machine = Machine::itsy(10, Benchmark::Mpeg.devices());
+
+    // 2. Boot the simulated kernel for a 30 s run.
+    let mut kernel = Kernel::new(
+        machine,
+        KernelConfig {
+            duration: SimDuration::from_secs(30),
+            ..KernelConfig::default()
+        },
+    );
+
+    // 3. Start the MPEG player (video + audio processes).
+    Benchmark::Mpeg.spawn_into(&mut kernel, /* seed */ 42);
+
+    // 4. Install the paper's best policy: PAST prediction, peg-to-
+    //    extremes speed setting, >98 % / <93 % thresholds.
+    kernel.install_policy(Box::new(IntervalScheduler::best_from_paper(
+        ClockTable::sa1100(),
+    )));
+
+    // 5. Run and inspect.
+    let report = kernel.run();
+    println!("simulated          : {}", report.elapsed);
+    println!("energy             : {}", report.energy);
+    println!("mean power         : {:.3} W", report.mean_power_w());
+    println!("mean utilization   : {:.3}", report.mean_utilization());
+    println!("clock switches     : {}", report.clock_switches);
+    println!("time lost to stalls: {}", report.stalled);
+    println!(
+        "deadline misses    : {} of {} ({} worst lateness)",
+        report.deadlines.misses(SimDuration::from_millis(100)),
+        report.deadlines.len(),
+        report.deadlines.max_lateness(),
+    );
+    println!(
+        "final clock        : {:.1} MHz",
+        report.freq_mhz.values().last().copied().unwrap_or(0.0)
+    );
+}

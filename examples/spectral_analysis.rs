@@ -1,0 +1,69 @@
+//! Walk through the paper's §5.3 stability mathematics on live data:
+//! record a workload's utilization, find its periodicity, filter it the
+//! way AVG_N does, and see why the governor can never settle.
+//!
+//! ```text
+//! cargo run --release --example spectral_analysis
+//! ```
+
+use itsy_dvs::apps::Benchmark;
+use itsy_dvs::kernel::{Kernel, KernelConfig, Machine};
+use itsy_dvs::signal::{
+    autocorrelation, avg_n_alpha, avg_n_response, decaying_exp_spectrum, dominant_period,
+    steady_state_band,
+};
+use itsy_dvs::sim::SimDuration;
+
+fn main() {
+    // 1. Record MPEG's per-quantum utilization at full speed.
+    let mut kernel = Kernel::new(
+        Machine::itsy(10, Benchmark::Mpeg.devices()),
+        KernelConfig {
+            duration: SimDuration::from_secs(30),
+            ..KernelConfig::default()
+        },
+    );
+    Benchmark::Mpeg.spawn_into(&mut kernel, 42);
+    let report = kernel.run();
+    let util = report.utilization.values();
+    println!("recorded {} quanta of MPEG utilization", util.len());
+
+    // 2. Find the workload's time-scale.
+    match dominant_period(&util, 100, 0.2) {
+        Some(p) => {
+            let r = autocorrelation(&util, p)[p];
+            println!(
+                "dominant period: {p} quanta = {} ms (autocorrelation {r:.2})",
+                p * 10
+            );
+            println!("  -> the paper: frames take 'just under 7 scheduling quanta'");
+        }
+        None => println!("no dominant period found"),
+    }
+
+    // 3. Filter it the way AVG_N smooths utilization.
+    for n in [1u32, 3, 9] {
+        let filtered = avg_n_response(n, &util);
+        let band = steady_state_band(&filtered, 200);
+        println!(
+            "AVG_{n}: steady-state band [{:.2}, {:.2}] (swing {:.2})",
+            band.min,
+            band.max,
+            band.swing()
+        );
+        if band.destabilizes(0.98, 0.93) {
+            println!("  -> straddles the best policy's 98%/93% thresholds: the clock flaps");
+        }
+    }
+
+    // 4. The closed-form reason: the filter's spectrum never reaches
+    //    zero.
+    let alpha = avg_n_alpha(3, 1.0);
+    println!("\nAVG_3 kernel spectrum |X(w)| (per-interval radians):");
+    for w in [0.0, 0.5, 1.0, 2.0, 4.0] {
+        let rel = decaying_exp_spectrum(alpha, w) / decaying_exp_spectrum(alpha, 0.0) * 100.0;
+        println!("  w = {w:>3}: {rel:>5.1}% of DC");
+    }
+    println!("high frequencies are attenuated but never eliminated — if the");
+    println!("input oscillates, the weighted utilization oscillates too.");
+}

@@ -1,0 +1,129 @@
+//! The paper's §6 future work in action: a video player that announces
+//! its frame deadlines to the kernel, governed by the EDF-style
+//! deadline governor — compared against the blind heuristic.
+//!
+//! ```text
+//! cargo run --release --example video_player
+//! ```
+
+use itsy_dvs::dvs::IntervalScheduler;
+use itsy_dvs::hw::{ClockTable, DeviceSet, Work};
+use itsy_dvs::kernel::deadline::{
+    AnnouncementId, DeadlineGovernor, DeadlineRegistry, SharedRegistry,
+};
+use itsy_dvs::kernel::{Kernel, KernelConfig, Machine, TaskAction, TaskBehavior, TaskCtx};
+use itsy_dvs::sim::{SimDuration, SimTime};
+
+/// A 25 fps player that tells the kernel about every frame.
+struct CooperativePlayer {
+    registry: Option<SharedRegistry>,
+    live: Option<AnnouncementId>,
+    frame: u64,
+    pending: bool,
+}
+
+const PERIOD: SimDuration = SimDuration::from_millis(40);
+const FRAME_CYCLES: f64 = 3.6e6; // needs ~90 MHz sustained
+
+impl CooperativePlayer {
+    fn new(registry: Option<SharedRegistry>) -> Self {
+        CooperativePlayer {
+            registry,
+            live: None,
+            frame: 0,
+            pending: false,
+        }
+    }
+
+    fn due(&self) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros((self.frame + 1) * PERIOD.as_micros())
+    }
+
+    fn announce(&mut self, now: SimTime) {
+        if let Some(reg) = &self.registry {
+            self.live = Some(
+                reg.lock()
+                    .unwrap()
+                    .announce(FRAME_CYCLES * 1.1, now, self.due()),
+            );
+        }
+    }
+}
+
+impl TaskBehavior for CooperativePlayer {
+    fn next_action(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+        if self.pending {
+            ctx.report_deadline("frame", self.due());
+            if let (Some(reg), Some(id)) = (&self.registry, self.live.take()) {
+                reg.lock().unwrap().complete(id);
+            }
+            self.pending = false;
+            self.frame += 1;
+            self.announce(ctx.now);
+            let start = self.due() - PERIOD;
+            if ctx.now < start {
+                return TaskAction::SleepUntil(start);
+            }
+        }
+        if self.live.is_none() && self.registry.is_some() {
+            self.announce(ctx.now);
+        }
+        self.pending = true;
+        TaskAction::Compute(Work::new(
+            FRAME_CYCLES * 0.85,
+            0.0,
+            FRAME_CYCLES * 0.15 / 42.0,
+        ))
+    }
+
+    fn label(&self) -> String {
+        "cooperative-player".into()
+    }
+}
+
+fn run(cooperative: bool) -> (f64, usize, f64, u64) {
+    let mut kernel = Kernel::new(
+        Machine::itsy(10, DeviceSet::AV),
+        KernelConfig {
+            duration: SimDuration::from_secs(30),
+            ..KernelConfig::default()
+        },
+    );
+    if cooperative {
+        let registry = DeadlineRegistry::shared();
+        kernel.spawn(Box::new(CooperativePlayer::new(Some(registry.clone()))));
+        kernel.install_policy(Box::new(DeadlineGovernor::new(
+            registry,
+            ClockTable::sa1100(),
+        )));
+    } else {
+        kernel.spawn(Box::new(CooperativePlayer::new(None)));
+        kernel.install_policy(Box::new(IntervalScheduler::best_from_paper(
+            ClockTable::sa1100(),
+        )));
+    }
+    let r = kernel.run();
+    (
+        r.energy.as_joules(),
+        r.deadlines.misses(SimDuration::from_millis(100)),
+        r.freq_mhz.mean().unwrap_or(0.0),
+        r.clock_switches,
+    )
+}
+
+fn main() {
+    println!("25 fps player, 30 s, needs ~90 MHz sustained\n");
+    for (label, cooperative) in [
+        ("blind heuristic (PAST, peg-peg)", false),
+        ("announced deadlines (EDF governor)", true),
+    ] {
+        let (energy, misses, mhz, switches) = run(cooperative);
+        println!("{label}:");
+        println!("  energy      : {energy:.1} J");
+        println!("  misses      : {misses}");
+        println!("  mean clock  : {mhz:.1} MHz");
+        println!("  switches    : {switches}\n");
+    }
+    println!("The governor runs slower, steadier, and cheaper — the deadline");
+    println!("information the paper's heuristics were trying to guess.");
+}

@@ -1,0 +1,57 @@
+//! # itsy-dvs
+//!
+//! A from-scratch reproduction of *Policies for Dynamic Clock Scheduling*
+//! (Grunwald, Morrey, Levis, Neufeld, Farkas — OSDI 2000): interval-based
+//! dynamic clock/voltage scheduling policies evaluated on a simulated
+//! Itsy pocket computer (StrongARM SA-1100) running a Linux-2.0-style
+//! scheduler.
+//!
+//! This facade crate re-exports the workspace crates so applications can
+//! depend on a single name:
+//!
+//! - [`sim`] — discrete-event engine, time and quantity types
+//! - [`hw`] — the Itsy hardware model (clock steps, power, memory, battery)
+//! - [`kernel`] — the simulated kernel (scheduler, timer, policy hook)
+//! - [`apps`] — the paper's four workloads plus synthetic ones
+//! - [`dvs`] — the clock-scheduling policies (the paper's subject)
+//! - [`measure`] — the simulated DAQ measurement harness
+//! - [`signal`] — Fourier/filter analysis from §5.3
+//! - [`repro`] — one module per table/figure in the paper
+//!
+//! # Examples
+//!
+//! The paper's headline configuration in a few lines:
+//!
+//! ```
+//! use itsy_dvs::apps::Benchmark;
+//! use itsy_dvs::dvs::IntervalScheduler;
+//! use itsy_dvs::hw::ClockTable;
+//! use itsy_dvs::kernel::{Kernel, KernelConfig, Machine};
+//! use itsy_dvs::sim::SimDuration;
+//!
+//! let mut kernel = Kernel::new(
+//!     Machine::itsy(10, Benchmark::Mpeg.devices()),
+//!     KernelConfig {
+//!         duration: SimDuration::from_secs(5),
+//!         ..KernelConfig::default()
+//!     },
+//! );
+//! Benchmark::Mpeg.spawn_into(&mut kernel, 42);
+//! kernel.install_policy(Box::new(IntervalScheduler::best_from_paper(
+//!     ClockTable::sa1100(),
+//! )));
+//! let report = kernel.run();
+//! assert_eq!(report.deadlines.misses(SimDuration::from_millis(100)), 0);
+//! assert!(report.clock_switches > 0);
+//! ```
+//!
+//! See `examples/quickstart.rs` for a longer tour.
+
+pub use analysis as signal;
+pub use daq as measure;
+pub use experiments as repro;
+pub use itsy_hw as hw;
+pub use kernel_sim as kernel;
+pub use policies as dvs;
+pub use sim_core as sim;
+pub use workloads as apps;

@@ -1,0 +1,155 @@
+//! Cross-crate integration: workload → kernel → hardware → DAQ →
+//! statistics, through the facade crate's public API only.
+
+use itsy_dvs::apps::Benchmark;
+use itsy_dvs::dvs::{ConstantPolicy, IntervalScheduler};
+use itsy_dvs::hw::clock::V_HIGH;
+use itsy_dvs::hw::ClockTable;
+use itsy_dvs::kernel::{Kernel, KernelConfig, Machine};
+use itsy_dvs::measure::Daq;
+use itsy_dvs::sim::{Rng, RunStats, SimDuration, SimTime};
+
+fn run_mpeg(step: usize, secs: u64, policy: bool, seed: u64) -> itsy_dvs::kernel::KernelReport {
+    let mut kernel = Kernel::new(
+        Machine::itsy(step, Benchmark::Mpeg.devices()),
+        KernelConfig {
+            duration: SimDuration::from_secs(secs),
+            ..KernelConfig::default()
+        },
+    );
+    Benchmark::Mpeg.spawn_into(&mut kernel, seed);
+    if policy {
+        kernel.install_policy(Box::new(IntervalScheduler::best_from_paper(
+            ClockTable::sa1100(),
+        )));
+    } else {
+        kernel.install_policy(Box::new(ConstantPolicy::new(step, V_HIGH)));
+    }
+    kernel.run()
+}
+
+#[test]
+fn daq_energy_matches_kernel_energy() {
+    // The measurement chain must agree with the simulator's own
+    // integration to within noise + quantisation.
+    let report = run_mpeg(10, 10, false, 3);
+    let daq = Daq::default();
+    let mut rng = Rng::new(17);
+    let profile = daq.capture(
+        &report.power_w,
+        SimTime::ZERO,
+        SimTime::from_secs(10),
+        &mut rng,
+    );
+    let rel = (profile.energy().as_joules() - report.energy.as_joules()).abs()
+        / report.energy.as_joules();
+    assert!(rel < 0.01, "DAQ vs kernel energy differ by {rel:.4}");
+}
+
+#[test]
+fn repeated_measurements_are_tight() {
+    // The paper's repeatability criterion over the full pipeline.
+    let mut stats = RunStats::new();
+    let daq = Daq::default();
+    for run in 0..6 {
+        let report = run_mpeg(10, 5, false, 100 + run);
+        let mut rng = Rng::new(run);
+        let profile = daq.capture(
+            &report.power_w,
+            SimTime::ZERO,
+            SimTime::from_secs(5),
+            &mut rng,
+        );
+        stats.record(profile.energy().as_joules());
+    }
+    let ci = stats.ci95().expect("six runs");
+    assert!(
+        ci.relative_half_width() < 0.007,
+        "CI half width {:.3}% of mean",
+        ci.relative_half_width() * 100.0
+    );
+}
+
+#[test]
+fn policy_saves_energy_without_missing_deadlines() {
+    let constant = run_mpeg(10, 20, false, 5);
+    let governed = run_mpeg(10, 20, true, 5);
+    assert!(governed.energy.as_joules() < constant.energy.as_joules());
+    assert_eq!(
+        governed.deadlines.misses(SimDuration::from_millis(100)),
+        0,
+        "max lateness {}",
+        governed.deadlines.max_lateness()
+    );
+    assert!(governed.clock_switches > 0);
+}
+
+#[test]
+fn all_benchmarks_run_to_completion_under_all_stock_policies() {
+    for b in Benchmark::ALL {
+        for policy in [false, true] {
+            let mut kernel = Kernel::new(
+                Machine::itsy(10, b.devices()),
+                KernelConfig {
+                    duration: SimDuration::from_secs(10),
+                    ..KernelConfig::default()
+                },
+            );
+            b.spawn_into(&mut kernel, 9);
+            if policy {
+                kernel.install_policy(Box::new(IntervalScheduler::best_from_paper(
+                    ClockTable::sa1100(),
+                )));
+            }
+            let r = kernel.run();
+            assert_eq!(
+                r.time_accounted(),
+                SimDuration::from_secs(10),
+                "{} lost time",
+                b.name()
+            );
+            assert!(r.energy.as_joules() > 0.0);
+            assert_eq!(r.utilization.len(), 1000);
+        }
+    }
+}
+
+#[test]
+fn sched_log_has_the_papers_record_shape() {
+    let report = run_mpeg(10, 5, true, 2);
+    let recs = report.sched_log.records();
+    assert!(!recs.is_empty());
+    // Timestamps nondecreasing, pids valid, clock rates from the table.
+    let table = ClockTable::sa1100();
+    let valid_khz: Vec<u32> = table.iter().map(|(_, f)| f.as_khz()).collect();
+    for w in recs.windows(2) {
+        assert!(w[0].at_us <= w[1].at_us);
+    }
+    for r in recs {
+        assert!(r.pid <= 2, "MPEG has two tasks plus idle");
+        assert!(
+            valid_khz.contains(&r.clock_khz),
+            "bogus rate {}",
+            r.clock_khz
+        );
+    }
+    // Both the player and the idle task appear.
+    assert!(recs.iter().any(|r| r.pid == 0));
+    assert!(recs.iter().any(|r| r.pid != 0));
+}
+
+#[test]
+fn oracle_baselines_consume_kernel_work_traces() {
+    // Weiser-style trace-driven algorithms run on the work trace the
+    // kernel records.
+    let report = run_mpeg(10, 10, false, 4);
+    let trace = itsy_dvs::dvs::WorkTrace::new(report.work_fraction.values());
+    let opt = itsy_dvs::dvs::oracle::opt(&trace);
+    let future = itsy_dvs::dvs::oracle::future(&trace);
+    let past = itsy_dvs::dvs::oracle::weiser_past(&trace);
+    assert!(opt.energy <= future.energy + 1e-9);
+    assert!(future.energy <= past.energy * 1.05);
+    // OPT's constant speed sits near MPEG's mean work fraction.
+    let mean = trace.mean_work();
+    assert!((opt.speeds[0] - mean.clamp(59.0 / 206.4, 1.0)).abs() < 1e-9);
+}

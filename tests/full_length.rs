@@ -1,0 +1,115 @@
+//! Full-length runs: every workload at its paper-nominal duration
+//! (MPEG 60 s, TalkingEditor 70 s, Web 190 s, Chess 218 s) under the
+//! best policy, checking the end-to-end story holds beyond the short
+//! windows the unit tests use.
+
+use itsy_dvs::apps::Benchmark;
+use itsy_dvs::dvs::IntervalScheduler;
+use itsy_dvs::hw::ClockTable;
+use itsy_dvs::kernel::{Kernel, KernelConfig, Machine};
+use itsy_dvs::sim::SimDuration;
+
+#[test]
+fn nominal_durations_run_clean_under_the_best_policy() {
+    for b in Benchmark::ALL {
+        let mut kernel = Kernel::new(
+            Machine::itsy(10, b.devices()),
+            KernelConfig {
+                duration: b.nominal_duration(),
+                ..KernelConfig::default()
+            },
+        );
+        b.spawn_into(&mut kernel, 1);
+        kernel.install_policy(Box::new(IntervalScheduler::best_from_paper(
+            ClockTable::sa1100(),
+        )));
+        let r = kernel.run();
+        assert_eq!(
+            r.time_accounted(),
+            b.nominal_duration(),
+            "{} lost time",
+            b.name()
+        );
+        assert_eq!(
+            r.deadlines.misses(SimDuration::from_millis(100)),
+            0,
+            "{} missed deadlines over the full trace (worst {})",
+            b.name(),
+            r.deadlines.max_lateness()
+        );
+        assert!(r.energy.as_joules() > 0.0);
+        // The policy was active: it moved the clock at least once on
+        // every workload.
+        assert!(r.clock_switches > 0, "{} never scaled", b.name());
+    }
+}
+
+#[test]
+fn mpeg_full_hour_is_stable() {
+    // Ten clip loops: lateness must not accumulate across loops.
+    let mut kernel = Kernel::new(
+        Machine::itsy(5, Benchmark::Mpeg.devices()),
+        KernelConfig {
+            duration: SimDuration::from_secs(140),
+            ..KernelConfig::default()
+        },
+    );
+    Benchmark::Mpeg.spawn_into(&mut kernel, 1);
+    let r = kernel.run();
+    // Frame deadlines at 132.7 MHz stay met from the first loop to the
+    // last.
+    assert_eq!(r.deadlines.misses(SimDuration::from_millis(100)), 0);
+    // Lateness in the final 20 s is no worse than in the first 20 s
+    // (no drift).
+    let lateness_in = |from: u64, to: u64| {
+        r.deadlines
+            .records()
+            .iter()
+            .filter(|d| d.label == "frame")
+            .filter(|d| d.due_us >= from * 1_000_000 && d.due_us < to * 1_000_000)
+            .map(|d| d.lateness().as_micros())
+            .max()
+            .unwrap_or(0)
+    };
+    let head = lateness_in(0, 20);
+    let tail = lateness_in(120, 140);
+    assert!(
+        tail <= head + 30_000,
+        "lateness drifted: head {head}us tail {tail}us"
+    );
+}
+
+#[test]
+fn chess_trace_matches_the_papers_218_seconds() {
+    // A complete game: the engine goes quiet near the paper's trace
+    // length and never resumes.
+    let mut kernel = Kernel::new(
+        Machine::itsy(10, Benchmark::Chess.devices()),
+        KernelConfig {
+            duration: SimDuration::from_secs(300),
+            ..KernelConfig::default()
+        },
+    );
+    Benchmark::Chess.spawn_into(&mut kernel, 1);
+    let r = kernel.run();
+    // Find the last saturated (planning) quantum.
+    let last_busy = r
+        .utilization
+        .iter()
+        .filter(|&(_, u)| u > 0.9)
+        .map(|(t, _)| t.as_secs_f64())
+        .fold(None::<f64>, |_, t| Some(t))
+        .expect("the engine planned at least once");
+    assert!(
+        (60.0..300.0).contains(&last_busy),
+        "game ended at {last_busy:.0}s"
+    );
+    // After the game only the poller's ripple remains.
+    let after = r.utilization.window(
+        itsy_dvs::sim::SimTime::from_micros(((last_busy + 10.0) * 1e6) as u64),
+        itsy_dvs::sim::SimTime::from_secs(300),
+    );
+    if let Some(m) = after.mean() {
+        assert!(m < 0.15, "post-game utilization {m}");
+    }
+}

@@ -1,0 +1,92 @@
+//! The paper's headline claims, checked end-to-end through the facade.
+//!
+//! These are the sentences a reader would quote from the paper; each
+//! test regenerates the evidence.
+
+use itsy_dvs::repro;
+use itsy_dvs::sim::SimDuration;
+
+/// "currently proposed algorithms consistently fail to achieve their
+/// goal of saving power while not causing user applications to change
+/// their interactive behavior" — even the best policy's saving is small
+/// next to what the right constant speed achieves.
+#[test]
+fn heuristics_leave_most_of_the_energy_on_the_table() {
+    let t2 = repro::table2::run(1);
+    let constant_top = t2.mean(0);
+    let constant_right = t2.mean(1); // 132.7 MHz
+    let best_policy = t2.mean(3);
+    let policy_saving = constant_top - best_policy;
+    let oracle_saving = constant_top - constant_right;
+    assert!(policy_saving > 0.0);
+    assert!(
+        policy_saving < 0.5 * oracle_saving,
+        "the heuristic captured {policy_saving:.1}J of the {oracle_saving:.1}J available"
+    );
+}
+
+/// "the AVG_N algorithm can not settle on the clock speed that
+/// maximizes CPU utilization" — its filtered output oscillates forever
+/// on a periodic load.
+#[test]
+fn avg_n_cannot_settle() {
+    let f7 = repro::fig7::run();
+    assert!(f7.analytic_band.swing() > 0.15);
+    assert!(f7.empirical_band.swing() > 0.15);
+}
+
+/// "Each application was able to run at 132MHz and still meet any user
+/// interaction constraints."
+#[test]
+fn everything_runs_at_132mhz() {
+    use itsy_dvs::apps::Benchmark;
+    use itsy_dvs::kernel::{Kernel, KernelConfig, Machine};
+    for b in Benchmark::ALL {
+        let mut kernel = Kernel::new(
+            Machine::itsy(5, b.devices()),
+            KernelConfig {
+                duration: SimDuration::from_secs(20),
+                ..KernelConfig::default()
+            },
+        );
+        b.spawn_into(&mut kernel, 3);
+        let r = kernel.run();
+        assert_eq!(
+            r.deadlines.misses(SimDuration::from_millis(100)),
+            0,
+            "{} at 132.7 MHz missed (worst {})",
+            b.name(),
+            r.deadlines.max_lateness()
+        );
+    }
+}
+
+/// "Clock scaling took approximately 200 microseconds ... we would be
+/// able to change the clock or voltage on every scheduling decision
+/// with less than 2% overhead."
+#[test]
+fn switch_overhead_is_negligible() {
+    let c = repro::switch_cost::run();
+    assert!(c.quantum_overhead() <= 0.025);
+}
+
+/// "The policy causes many voltage and clock changes" — Figure 8's
+/// best policy flaps between the extremes.
+#[test]
+fn best_policy_flaps() {
+    let f8 = repro::fig8::run(1);
+    assert!(f8.clock_switches > 30);
+    assert!(f8.fraction_at_59 + f8.fraction_at_206 > 0.95);
+    assert_eq!(f8.misses, 0);
+}
+
+/// "the processor utilization does not always vary linearly with clock
+/// frequency" — the memory-induced plateau.
+#[test]
+fn utilization_is_nonlinear_in_frequency() {
+    let f9 = repro::fig9::run(1);
+    assert!(f9.plateau_drop().abs() < 0.02);
+    // While the curve overall drops by ~20 points.
+    let total_drop = f9.decode_at(5) - f9.decode_at(10);
+    assert!(total_drop > 0.1, "total drop = {total_drop}");
+}

@@ -1,0 +1,190 @@
+//! Property-based tests over the public API: invariants that must hold
+//! for arbitrary inputs, not just the calibrated configurations.
+
+use proptest::prelude::*;
+
+use itsy_dvs::dvs::{AvgN, ClockPolicy, Hysteresis, IntervalScheduler, Predictor, SpeedChange};
+use itsy_dvs::hw::{ClockTable, MemoryTiming, Work, WorkProgress};
+use itsy_dvs::kernel::{Kernel, KernelConfig, Machine, TaskAction};
+use itsy_dvs::sim::{SimDuration, SimTime};
+
+proptest! {
+    /// AVG_N output stays inside the convex hull of its inputs.
+    #[test]
+    fn avg_n_is_bounded(n in 0u32..12, inputs in proptest::collection::vec(0.0f64..=1.0, 1..200)) {
+        let mut p = AvgN::new(n);
+        for &u in &inputs {
+            let w = p.observe(u);
+            prop_assert!((0.0..=1.0).contains(&w), "w = {w}");
+        }
+    }
+
+    /// Feeding a constant converges to that constant.
+    #[test]
+    fn avg_n_converges(n in 0u32..10, target in 0.0f64..=1.0) {
+        let mut p = AvgN::new(n);
+        for _ in 0..2_000 {
+            p.observe(target);
+        }
+        prop_assert!((p.current() - target).abs() < 1e-6);
+    }
+
+    /// Speed-setting rules always return valid steps, with up >= current
+    /// and down <= current.
+    #[test]
+    fn speed_rules_are_monotone(cur in 0usize..11) {
+        let table = ClockTable::sa1100();
+        for rule in [SpeedChange::One, SpeedChange::Double, SpeedChange::Peg] {
+            let up = rule.up(cur, &table);
+            let down = rule.down(cur, &table);
+            prop_assert!(up >= cur && up < table.len());
+            prop_assert!(down <= cur);
+        }
+    }
+
+    /// Work execution conserves demand across arbitrary budget splits:
+    /// running in two pieces takes the same total time (±1 µs rounding
+    /// per piece) as running whole.
+    #[test]
+    fn work_split_conserves_time(
+        cpu in 1.0e3f64..1.0e8,
+        refs in 0.0f64..1.0e5,
+        lines in 0.0f64..1.0e5,
+        split_ms in 1u64..500,
+        step in 0usize..11,
+    ) {
+        let table = ClockTable::sa1100();
+        let mem = MemoryTiming::sa1100_edo();
+        let freq = table.freq(step);
+        let w = Work::new(cpu, refs, lines);
+        let whole = w.time_at(step, freq, &mem);
+        let budget = SimDuration::from_millis(split_ms);
+        match w.execute_for(budget, step, freq, &mem) {
+            WorkProgress::Completed(d) => prop_assert!(d <= budget && d == whole),
+            WorkProgress::Remaining(rest) => {
+                let rest_t = rest.time_at(step, freq, &mem);
+                let total = budget.as_micros() + rest_t.as_micros();
+                let diff = total as i64 - whole.as_micros() as i64;
+                prop_assert!(diff.abs() <= 2, "split cost {total} vs whole {}", whole.as_micros());
+            }
+        }
+    }
+
+    /// Higher clock steps never make *CPU-bound* work slower. (For
+    /// memory-bound work this is false — see
+    /// `memory_bound_work_can_invert` below — which is the extreme form
+    /// of the paper's Figure 9 non-linearity.)
+    #[test]
+    fn faster_clock_never_slows_cpu_bound_work(
+        cpu in 1.0e3f64..1.0e8,
+        step in 0usize..10,
+    ) {
+        let table = ClockTable::sa1100();
+        let mem = MemoryTiming::sa1100_edo();
+        let w = Work::cycles(cpu);
+        let slow = w.time_at(step, table.freq(step), &mem);
+        let fast = w.time_at(step + 1, table.freq(step + 1), &mem);
+        prop_assert!(fast <= slow, "step {} -> {}: {:?} -> {:?}", step, step + 1, slow, fast);
+    }
+
+    /// The kernel conserves time for arbitrary synthetic workloads:
+    /// busy + idle == elapsed, utilization in [0, 1], energy positive.
+    #[test]
+    fn kernel_conserves_time(
+        busy_q in 0u64..12,
+        idle_q in 0u64..12,
+        step in 0usize..11,
+        n in 0u32..6,
+    ) {
+        prop_assume!(busy_q + idle_q > 0);
+        let mut kernel = Kernel::new(
+            Machine::itsy(step, itsy_dvs::hw::DeviceSet::NONE),
+            KernelConfig {
+                duration: SimDuration::from_secs(2),
+                ..KernelConfig::default()
+            },
+        );
+        kernel.spawn(Box::new(itsy_dvs::apps::SquareWave::quanta(busy_q, idle_q)));
+        kernel.install_policy(Box::new(IntervalScheduler::new(
+            Box::new(AvgN::new(n)),
+            Hysteresis::BEST,
+            SpeedChange::Peg,
+            SpeedChange::One,
+            ClockTable::sa1100(),
+        )));
+        let r = kernel.run();
+        prop_assert_eq!(r.time_accounted(), SimDuration::from_secs(2));
+        prop_assert!(r.energy.as_joules() > 0.0);
+        for u in r.utilization.values() {
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+        // The stall budget can't exceed 200 us per tick.
+        prop_assert!(r.stalled.as_micros() <= 200 * 200);
+    }
+
+    /// Interval schedulers only ever request valid steps.
+    #[test]
+    fn governor_requests_valid_steps(
+        utils in proptest::collection::vec(0.0f64..=1.0, 1..100),
+        n in 0u32..10,
+        up_i in 0usize..3,
+        down_i in 0usize..3,
+    ) {
+        let rules = [SpeedChange::One, SpeedChange::Double, SpeedChange::Peg];
+        let table = ClockTable::sa1100();
+        let mut gov = IntervalScheduler::new(
+            Box::new(AvgN::new(n)),
+            Hysteresis { up: 0.7, down: 0.5 },
+            rules[up_i],
+            rules[down_i],
+            table.clone(),
+        );
+        let mut cur = 0usize;
+        for (i, &u) in utils.iter().enumerate() {
+            let req = gov.on_interval(SimTime::from_millis(10 * (i as u64 + 1)), u, cur);
+            if let Some(s) = req.step {
+                prop_assert!(s < table.len());
+                prop_assert!(s != cur, "no-op requests are filtered");
+                cur = s;
+            }
+        }
+    }
+
+    /// For sufficiently memory-bound work, the Table 3 wait-state jumps
+    /// make a *faster* clock step slower in wall time: the per-line
+    /// cost rises 42 -> 49 cycles across 132.7 -> 147.5 MHz (+16.7%)
+    /// while the clock gains only +11.2%. This is the extreme form of
+    /// the Figure 9 non-linearity.
+    #[test]
+    fn memory_bound_work_can_invert(lines in 1.0e4f64..1.0e6) {
+        let table = ClockTable::sa1100();
+        let mem = MemoryTiming::sa1100_edo();
+        let w = Work::new(0.0, 0.0, lines);
+        let at_132 = w.time_at(5, table.freq(5), &mem);
+        let at_147 = w.time_at(6, table.freq(6), &mem);
+        prop_assert!(at_147 > at_132, "pure line-fill work must invert here");
+    }
+
+    /// Tasks that exit immediately leave a fully idle, zero-deadline
+    /// system regardless of how many are spawned.
+    #[test]
+    fn exiting_tasks_leave_an_idle_system(count in 1usize..20) {
+        let mut kernel = Kernel::new(
+            Machine::itsy(10, itsy_dvs::hw::DeviceSet::NONE),
+            KernelConfig {
+                duration: SimDuration::from_secs(1),
+                ..KernelConfig::default()
+            },
+        );
+        for i in 0..count {
+            kernel.spawn(Box::new(itsy_dvs::kernel::task::FnBehavior::new(
+                format!("t{i}"),
+                |_ctx| TaskAction::Exit,
+            )));
+        }
+        let r = kernel.run();
+        prop_assert_eq!(r.busy, SimDuration::ZERO);
+        prop_assert_eq!(r.idle, SimDuration::from_secs(1));
+        prop_assert!(r.deadlines.is_empty());
+    }
+}
