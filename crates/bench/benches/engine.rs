@@ -1,0 +1,80 @@
+//! Execution-engine benchmarks: what the worker pool buys over
+//! sequential execution on a reduced sweep grid, and what a warm cache
+//! buys over both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use engine::{Engine, EngineConfig};
+use experiments::sweep::{self, SweepConfig};
+use policies::{Hysteresis, SpeedChange};
+use workloads::Benchmark;
+
+/// A reduced grid: 2 baselines + 2x2x2x2x1 = 18 two-second cells.
+fn reduced_grid() -> SweepConfig {
+    SweepConfig {
+        benchmarks: vec![Benchmark::Mpeg, Benchmark::Web],
+        ns: vec![0, 3],
+        rules: vec![SpeedChange::One, SpeedChange::Peg],
+        thresholds: vec![Hysteresis::BEST],
+        secs: 2,
+    }
+}
+
+fn bench_sequential_vs_parallel(c: &mut Criterion) {
+    let config = reduced_grid();
+    let cells = sweep::specs(&config, 1).len() as u64;
+    let mut g = c.benchmark_group("engine_sweep");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cells));
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for jobs in [1usize, parallelism] {
+        g.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            let eng = Engine::new(EngineConfig {
+                jobs,
+                ..EngineConfig::hermetic()
+            });
+            b.iter(|| black_box(sweep::run_with(&eng, &config, 1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_warm_cache(c: &mut Criterion) {
+    let config = reduced_grid();
+    let root = std::env::temp_dir().join(format!("engine-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let eng = Engine::new(EngineConfig {
+        jobs: 0,
+        use_cache: true,
+        resume: false,
+        state_root: Some(root.clone()),
+        progress: false,
+    });
+    // Prime the cache once; every timed iteration is then a pure
+    // cache read of the full grid.
+    let (_, stats) = sweep::run_with(&eng, &config, 1);
+    assert_eq!(stats.cache_hits, 0);
+
+    let cells = sweep::specs(&config, 1).len() as u64;
+    let mut g = c.benchmark_group("engine_sweep");
+    g.throughput(Throughput::Elements(cells));
+    g.bench_function("warm_cache", |b| {
+        b.iter(|| {
+            let (sweep, stats) = sweep::run_with(&eng, &config, 1);
+            assert_eq!(stats.executed, 0, "warm iterations must not simulate");
+            black_box(sweep)
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(
+    engine_benches,
+    bench_sequential_vs_parallel,
+    bench_warm_cache
+);
+criterion_main!(engine_benches);

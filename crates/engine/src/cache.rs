@@ -1,0 +1,185 @@
+//! On-disk result cache, keyed by job content address.
+//!
+//! Layout: `<dir>/<first two hex chars of key>/<key>.entry`, sharded so
+//! a full-grid sweep (thousands of cells) does not put every entry in
+//! one directory. Each entry is a three-line text file:
+//!
+//! ```text
+//! itsy-dvs engine cache v1
+//! spec=<canonical spec string>
+//! result=<JobResult::encode() output>
+//! ```
+//!
+//! The canonical spec is stored alongside the result so a hash
+//! collision (or a stale entry after a `SIM_VERSION` bump that somehow
+//! kept the same key) is *detected* — the entry is ignored unless the
+//! stored spec matches the requesting spec byte-for-byte.
+//!
+//! Writes go through a temp file + rename so a run killed mid-write
+//! never leaves a half-entry that poisons a later `--resume`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::job::{JobResult, JobSpec};
+use crate::key::ContentKey;
+
+/// Format fence for entry files.
+const HEADER: &str = "itsy-dvs engine cache v1";
+
+/// A content-addressed store of job results.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (without touching the filesystem) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// The cache root.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the entry for a key.
+    fn entry_path(&self, key: ContentKey) -> PathBuf {
+        let hex = key.to_string();
+        self.dir.join(&hex[..2]).join(format!("{hex}.entry"))
+    }
+
+    /// Looks up a spec. Returns `None` on missing, malformed, or
+    /// spec-mismatched entries — never an error; a broken entry is
+    /// simply recomputed and overwritten.
+    pub fn load(&self, spec: &JobSpec) -> Option<JobResult> {
+        let text = fs::read_to_string(self.entry_path(spec.key())).ok()?;
+        let mut lines = text.lines();
+        if lines.next()? != HEADER {
+            return None;
+        }
+        let stored_spec = lines.next()?.strip_prefix("spec=")?;
+        if stored_spec != spec.canonical() {
+            return None;
+        }
+        JobResult::decode(lines.next()?.strip_prefix("result=")?)
+    }
+
+    /// Stores a result, atomically.
+    pub fn store(&self, spec: &JobSpec, result: &JobResult) -> io::Result<()> {
+        let path = self.entry_path(spec.key());
+        let parent = path.parent().expect("entry path has a shard dir");
+        fs::create_dir_all(parent)?;
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        fs::write(
+            &tmp,
+            format!(
+                "{HEADER}\nspec={}\nresult={}\n",
+                spec.canonical(),
+                result.encode()
+            ),
+        )?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Number of entries on disk (test/report helper; walks the tree).
+    pub fn len(&self) -> usize {
+        let Ok(shards) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        shards
+            .flatten()
+            .filter_map(|d| fs::read_dir(d.path()).ok())
+            .flatten()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "entry"))
+            .count()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::WorkloadSpec;
+    use policies::PolicyDesc;
+    use workloads::Benchmark;
+
+    fn temp_cache(tag: &str) -> ResultCache {
+        let dir =
+            std::env::temp_dir().join(format!("engine-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ResultCache::new(dir)
+    }
+
+    fn spec(seed: u64) -> JobSpec {
+        JobSpec::new(
+            WorkloadSpec::Benchmark(Benchmark::Web),
+            PolicyDesc::best_from_paper(),
+            5,
+            seed,
+        )
+    }
+
+    fn result(x: f64) -> JobResult {
+        JobResult {
+            energy_j: x,
+            core_energy_j: x / 3.0,
+            mean_freq_mhz: 100.0,
+            mean_utilization: 0.5,
+            misses: 1,
+            max_lateness_us: 2,
+            clock_switches: 3,
+            voltage_switches: 4,
+            final_step: 5,
+            frames_shown: 6,
+            frames_dropped: 7,
+        }
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let cache = temp_cache("roundtrip");
+        assert!(cache.is_empty());
+        assert_eq!(cache.load(&spec(1)), None);
+        cache.store(&spec(1), &result(0.1)).expect("store");
+        assert_eq!(cache.load(&spec(1)), Some(result(0.1)));
+        assert_eq!(cache.load(&spec(2)), None, "other specs unaffected");
+        assert_eq!(cache.len(), 1);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_misses() {
+        let cache = temp_cache("corrupt");
+        cache.store(&spec(1), &result(0.1)).expect("store");
+        let path = cache.entry_path(spec(1).key());
+        fs::write(&path, "not an entry").expect("corrupt it");
+        assert_eq!(cache.load(&spec(1)), None);
+        // And it can be healed by a fresh store.
+        cache.store(&spec(1), &result(0.2)).expect("re-store");
+        assert_eq!(cache.load(&spec(1)), Some(result(0.2)));
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn spec_mismatch_is_rejected() {
+        // Simulate a key collision: entry exists under the right key
+        // but records a different canonical spec.
+        let cache = temp_cache("mismatch");
+        let s = spec(1);
+        cache.store(&s, &result(0.1)).expect("store");
+        let path = cache.entry_path(s.key());
+        let text = fs::read_to_string(&path).expect("read");
+        let forged = text.replace("seed=1", "seed=999");
+        fs::write(&path, forged).expect("forge");
+        assert_eq!(cache.load(&s), None, "stored spec must match exactly");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

@@ -1,0 +1,411 @@
+//! The batch executor: worker pool + cache + journal + progress.
+//!
+//! [`Engine::run_batch`] takes a named list of [`JobSpec`]s and returns
+//! one [`JobResult`] per spec, in spec order. Three layers may satisfy
+//! a cell before a simulator runs:
+//!
+//! 1. the batch journal (when resuming an interrupted run),
+//! 2. the content-addressed cache (unless disabled),
+//! 3. the worker pool, which simulates whatever is left.
+//!
+//! Results land in a slot vector indexed by submission order, so output
+//! is a pure function of the specs — never of worker count or of which
+//! worker finished first. Cache and journal writes happen only on the
+//! collector (calling) thread; workers just simulate and send.
+
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::{Injector, Steal};
+
+use crate::cache::ResultCache;
+use crate::job::{JobResult, JobSpec};
+use crate::journal::Journal;
+
+/// How a batch should be executed.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means one per available core.
+    pub jobs: usize,
+    /// Consult and populate the on-disk result cache.
+    pub use_cache: bool,
+    /// Replay this batch's journal before running anything.
+    pub resume: bool,
+    /// Root for engine state (`<root>/cache`, `<root>/state`).
+    /// Defaults to the repro results directory.
+    pub state_root: Option<PathBuf>,
+    /// Emit progress / throughput lines on stderr.
+    pub progress: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            jobs: 0,
+            use_cache: true,
+            resume: false,
+            state_root: None,
+            progress: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config for unit tests and benches: sequential, no disk state,
+    /// no output.
+    pub fn hermetic() -> Self {
+        EngineConfig {
+            jobs: 1,
+            use_cache: false,
+            resume: false,
+            state_root: None,
+            progress: false,
+        }
+    }
+
+    /// Config for library callers: all cores, no disk state, no
+    /// output. This is what `experiments::*::run()` uses so that test
+    /// suites stay hermetic; the `repro` binary opts into cache,
+    /// resume and progress explicitly.
+    pub fn in_memory() -> Self {
+        EngineConfig {
+            jobs: 0,
+            ..Self::hermetic()
+        }
+    }
+}
+
+/// What a batch cost and where its results came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Cells requested.
+    pub total: usize,
+    /// Cells served from the result cache.
+    pub cache_hits: usize,
+    /// Cells served from an interrupted run's journal.
+    pub journal_hits: usize,
+    /// Cells actually simulated.
+    pub executed: usize,
+    /// Worker threads used (0 when nothing needed executing).
+    pub workers: usize,
+    /// Wall-clock time for the whole batch, µs.
+    pub elapsed_us: u64,
+}
+
+impl BatchStats {
+    /// Simulated cells per wall-clock second.
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            return 0.0;
+        }
+        self.executed as f64 / (self.elapsed_us as f64 / 1e6)
+    }
+}
+
+/// Results plus accounting for one batch.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One result per input spec, in input order.
+    pub results: Vec<JobResult>,
+    /// Where they came from and what they cost.
+    pub stats: BatchStats,
+}
+
+/// The parallel, cache-aware experiment executor.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Worker count after resolving `jobs = 0` to the machine's
+    /// available parallelism.
+    pub fn worker_count(&self) -> usize {
+        if self.config.jobs > 0 {
+            self.config.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Root directory for cache and journal state.
+    fn state_root(&self) -> PathBuf {
+        self.config.state_root.clone().unwrap_or_else(|| {
+            std::env::var_os("REPRO_RESULTS_DIR")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("results"))
+        })
+    }
+
+    /// Runs every spec, returning results in spec order.
+    ///
+    /// `batch` names the journal, so interrupting this call and
+    /// re-running with `resume` set picks up where it stopped. The
+    /// journal is always *written* (recovery must not require having
+    /// predicted the crash); `resume` only controls whether an existing
+    /// one is replayed. A batch that completes deletes its journal.
+    pub fn run_batch(&self, batch: &str, specs: &[JobSpec]) -> BatchOutcome {
+        let started = Instant::now();
+        let root = self.state_root();
+        let cache = self
+            .config
+            .use_cache
+            .then(|| ResultCache::new(root.join("cache")));
+        let state_dir = root.join("state");
+
+        // Layer 1 + 2: satisfy cells from journal and cache up front.
+        let journaled = if self.config.resume {
+            Journal::replay(&state_dir, batch)
+        } else {
+            Default::default()
+        };
+        let mut slots: Vec<Option<JobResult>> = Vec::with_capacity(specs.len());
+        let (mut journal_hits, mut cache_hits) = (0usize, 0usize);
+        for spec in specs {
+            let hit = journaled.get(&spec.key()).copied().inspect(|r| {
+                journal_hits += 1;
+                // Backfill the cache so the next batch doesn't depend
+                // on the journal surviving.
+                if let Some(cache) = &cache {
+                    let _ = cache.store(spec, r);
+                }
+            });
+            let hit = hit.or_else(|| {
+                cache
+                    .as_ref()
+                    .and_then(|c| c.load(spec))
+                    .inspect(|_| cache_hits += 1)
+            });
+            slots.push(hit);
+        }
+
+        let pending: Vec<(usize, JobSpec)> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(i, _)| (i, specs[i].clone()))
+            .collect();
+
+        let mut journal = match Journal::open(&state_dir, batch) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("engine: journal disabled for `{batch}`: {e}");
+                None
+            }
+        };
+
+        // Layer 3: simulate the rest on the worker pool.
+        let workers = self.worker_count().min(pending.len());
+        if !pending.is_empty() {
+            let injector = Injector::new();
+            let to_run = pending.len();
+            for job in pending {
+                injector.push(job);
+            }
+            let (tx, rx) = mpsc::channel::<(usize, JobResult)>();
+            crossbeam::thread::scope(|s| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let injector = &injector;
+                    s.spawn(move |_| loop {
+                        match injector.steal() {
+                            Steal::Success((i, spec)) => {
+                                if tx.send((i, spec.execute())).is_err() {
+                                    break;
+                                }
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => continue,
+                        }
+                    });
+                }
+                drop(tx);
+
+                // Collector: the only thread touching disk or slots.
+                let mut done = 0usize;
+                let mut last_report = Instant::now();
+                for (i, result) in rx {
+                    let spec = &specs[i];
+                    if let Some(cache) = &cache {
+                        if let Err(e) = cache.store(spec, &result) {
+                            eprintln!("engine: cache write failed for {}: {e}", spec.key());
+                        }
+                    }
+                    if let Some(j) = &mut journal {
+                        if let Err(e) = j.record(spec.key(), &result) {
+                            eprintln!("engine: journal write failed: {e}");
+                        }
+                    }
+                    slots[i] = Some(result);
+                    done += 1;
+                    if self.config.progress
+                        && (done == to_run || last_report.elapsed() >= Duration::from_millis(500))
+                    {
+                        last_report = Instant::now();
+                        let rate = done as f64 / started.elapsed().as_secs_f64().max(1e-9);
+                        let eta = (to_run - done) as f64 / rate.max(1e-9);
+                        eprintln!(
+                            "[{batch}] {done}/{to_run} simulated \
+                             ({skipped} reused) — {rate:.1} cells/s, ETA {eta:.0}s",
+                            skipped = journal_hits + cache_hits,
+                        );
+                    }
+                }
+            })
+            .expect("engine worker panicked");
+        }
+
+        if let Some(j) = journal.take() {
+            if let Err(e) = j.finish() {
+                eprintln!("engine: could not clear journal for `{batch}`: {e}");
+            }
+        }
+
+        let stats = BatchStats {
+            total: specs.len(),
+            cache_hits,
+            journal_hits,
+            executed: specs.len() - cache_hits - journal_hits,
+            workers,
+            elapsed_us: started.elapsed().as_micros() as u64,
+        };
+        if self.config.progress {
+            eprintln!(
+                "[{batch}] {} cells in {:.1}s: {} simulated on {} worker(s), \
+                 {} cache hit(s), {} journal hit(s)",
+                stats.total,
+                stats.elapsed_us as f64 / 1e6,
+                stats.executed,
+                stats.workers,
+                stats.cache_hits,
+                stats.journal_hits,
+            );
+        }
+        BatchOutcome {
+            results: slots
+                .into_iter()
+                .map(|s| s.expect("every slot filled"))
+                .collect(),
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::WorkloadSpec;
+    use policies::{Hysteresis, PolicyDesc, PredictorDesc, SpeedChange};
+    use workloads::Benchmark;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("engine-pool-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A small grid of genuinely distinct 2-second jobs.
+    fn grid() -> Vec<JobSpec> {
+        let mut specs = Vec::new();
+        for bench in [Benchmark::Mpeg, Benchmark::Web] {
+            for up in [SpeedChange::One, SpeedChange::Peg] {
+                specs.push(JobSpec::new(
+                    WorkloadSpec::Benchmark(bench),
+                    PolicyDesc::interval(
+                        PredictorDesc::Past,
+                        Hysteresis::BEST,
+                        up,
+                        SpeedChange::Peg,
+                    ),
+                    2,
+                    42,
+                ));
+            }
+        }
+        specs
+    }
+
+    #[test]
+    fn one_worker_and_many_workers_agree_bit_for_bit() {
+        let specs = grid();
+        let serial = Engine::new(EngineConfig::hermetic()).run_batch("t", &specs);
+        let parallel = Engine::new(EngineConfig {
+            jobs: 8,
+            ..EngineConfig::hermetic()
+        })
+        .run_batch("t", &specs);
+        assert_eq!(serial.results, parallel.results);
+        assert_eq!(serial.stats.executed, specs.len());
+        assert_eq!(parallel.stats.workers, specs.len().min(8));
+    }
+
+    #[test]
+    fn warm_cache_skips_every_cell_and_matches_cold() {
+        let root = temp_root("warm");
+        let config = EngineConfig {
+            jobs: 2,
+            use_cache: true,
+            state_root: Some(root.clone()),
+            ..EngineConfig::hermetic()
+        };
+        let specs = grid();
+        let cold = Engine::new(config.clone()).run_batch("t", &specs);
+        assert_eq!(cold.stats.executed, specs.len());
+        assert_eq!(cold.stats.cache_hits, 0);
+
+        let warm = Engine::new(config).run_batch("t", &specs);
+        assert_eq!(warm.stats.executed, 0, "warm run must simulate nothing");
+        assert_eq!(warm.stats.cache_hits, specs.len());
+        assert_eq!(warm.results, cold.results, "cache round trip is bit-exact");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn resume_replays_journal_even_without_cache() {
+        let root = temp_root("resume");
+        let specs = grid();
+        // Fake an interrupted run: journal holds the first two cells.
+        let reference = Engine::new(EngineConfig::hermetic()).run_batch("t", &specs);
+        let state_dir = root.join("state");
+        let mut j = Journal::open(&state_dir, "t").expect("open");
+        for (spec, r) in specs.iter().zip(&reference.results).take(2) {
+            j.record(spec.key(), r).expect("record");
+        }
+        drop(j);
+
+        let resumed = Engine::new(EngineConfig {
+            resume: true,
+            state_root: Some(root.clone()),
+            ..EngineConfig::hermetic()
+        })
+        .run_batch("t", &specs);
+        assert_eq!(resumed.stats.journal_hits, 2);
+        assert_eq!(resumed.stats.executed, specs.len() - 2);
+        assert_eq!(resumed.results, reference.results);
+        // Completion cleared the journal.
+        assert!(Journal::replay(&state_dir, "t").is_empty());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out = Engine::new(EngineConfig::hermetic()).run_batch("t", &[]);
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats.total, 0);
+        assert_eq!(out.stats.executed, 0);
+    }
+}

@@ -1,0 +1,354 @@
+//! Job specifications and execution.
+//!
+//! A [`JobSpec`] is the complete, plain-data description of one
+//! simulator run: workload × policy descriptor × duration × quantum ×
+//! seed. Everything that can influence the run's outcome is in the
+//! spec, so two specs with equal [canonical encodings](JobSpec::canonical)
+//! produce bit-identical [`JobResult`]s — the invariant behind both the
+//! on-disk cache and the 1-vs-N-worker determinism guarantee.
+
+use itsy_hw::{ClockTable, DeviceSet, StepIndex};
+use kernel_sim::{Kernel, KernelConfig, Machine};
+use policies::PolicyDesc;
+use sim_core::SimDuration;
+use workloads::{web::Browser, Benchmark, JavaPoller, MpegConfig, MpegWorkload, WebWorkload};
+
+use crate::key::ContentKey;
+
+/// Which tasks to spawn into the kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadSpec {
+    /// One of the paper's four named benchmarks.
+    Benchmark(Benchmark),
+    /// The Web browse trace alone, optionally with the Kaffe 30 ms
+    /// poller (the §5.3 Java-poller ablation).
+    WebBrowse {
+        /// Spawn the JVM polling loop alongside the browser.
+        poller: bool,
+    },
+    /// MPEG with the frame-dropping (elastic) player.
+    MpegElastic,
+}
+
+impl WorkloadSpec {
+    /// Devices the workload needs powered.
+    pub fn devices(&self) -> DeviceSet {
+        match self {
+            WorkloadSpec::Benchmark(b) => b.devices(),
+            WorkloadSpec::WebBrowse { .. } => DeviceSet::LCD,
+            WorkloadSpec::MpegElastic => DeviceSet::AV,
+        }
+    }
+
+    /// Spawns the workload's tasks into a kernel.
+    pub fn spawn_into(&self, kernel: &mut Kernel, seed: u64) {
+        match self {
+            WorkloadSpec::Benchmark(b) => b.spawn_into(kernel, seed),
+            WorkloadSpec::WebBrowse { poller } => {
+                kernel.spawn(Box::new(Browser::new(WebWorkload::browse_trace(seed))));
+                if *poller {
+                    kernel.spawn(Box::new(JavaPoller::new()));
+                }
+            }
+            WorkloadSpec::MpegElastic => {
+                let config = MpegConfig {
+                    drop_late_frames: true,
+                    ..MpegConfig::default()
+                };
+                for t in MpegWorkload::new(config, seed).into_tasks() {
+                    kernel.spawn(t);
+                }
+            }
+        }
+    }
+
+    /// Stable canonical tag for content addressing.
+    pub fn canonical(&self) -> String {
+        match self {
+            WorkloadSpec::Benchmark(b) => format!("bench:{}", b.name()),
+            WorkloadSpec::WebBrowse { poller } => format!("web_browse:poller={poller}"),
+            WorkloadSpec::MpegElastic => "mpeg_elastic".to_string(),
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::Benchmark(b) => b.name().to_string(),
+            WorkloadSpec::WebBrowse { poller: true } => "Web+poller".to_string(),
+            WorkloadSpec::WebBrowse { poller: false } => "Web-poller".to_string(),
+            WorkloadSpec::MpegElastic => "MPEG-elastic".to_string(),
+        }
+    }
+}
+
+/// One simulator run, fully described.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Tasks to run.
+    pub workload: WorkloadSpec,
+    /// Clock policy recipe.
+    pub policy: PolicyDesc,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Scheduling quantum; `None` uses the kernel default (10 ms).
+    pub quantum: Option<SimDuration>,
+    /// Initial clock step.
+    pub initial_step: StepIndex,
+    /// Workload seed.
+    pub seed: u64,
+    /// Deadline-miss tolerance used when summarizing the run.
+    pub tolerance: SimDuration,
+}
+
+impl JobSpec {
+    /// A spec with the experiments' stock settings: start at the top
+    /// step, 100 ms deadline tolerance, default quantum.
+    pub fn new(workload: WorkloadSpec, policy: PolicyDesc, secs: u64, seed: u64) -> Self {
+        JobSpec {
+            workload,
+            policy,
+            duration: SimDuration::from_secs(secs),
+            quantum: None,
+            initial_step: 10,
+            seed,
+            tolerance: SimDuration::from_millis(100),
+        }
+    }
+
+    /// Overrides the scheduling quantum.
+    pub fn with_quantum(mut self, quantum: SimDuration) -> Self {
+        self.quantum = Some(quantum);
+        self
+    }
+
+    /// Overrides the initial clock step.
+    pub fn starting_at(mut self, step: StepIndex) -> Self {
+        self.initial_step = step;
+        self
+    }
+
+    /// The spec's full canonical encoding. Every field participates;
+    /// `SIM_VERSION` is a format/semantics fence — bump it when the
+    /// simulator's behavior changes in ways that should invalidate
+    /// cached results.
+    pub fn canonical(&self) -> String {
+        format!(
+            "v{};wl={};policy={};dur_us={};quantum_us={};step={};seed={};tol_us={}",
+            SIM_VERSION,
+            self.workload.canonical(),
+            self.policy.canonical(),
+            self.duration.as_micros(),
+            self.quantum.map_or(0, |q| q.as_micros()),
+            self.initial_step,
+            self.seed,
+            self.tolerance.as_micros(),
+        )
+    }
+
+    /// The spec's content address.
+    pub fn key(&self) -> ContentKey {
+        ContentKey::of(&self.canonical())
+    }
+
+    /// Short progress-line label.
+    pub fn label(&self) -> String {
+        format!("{} / {}", self.workload.label(), self.policy.label())
+    }
+
+    /// Runs the simulation synchronously and summarizes it.
+    pub fn execute(&self) -> JobResult {
+        let mut config = KernelConfig {
+            duration: self.duration,
+            ..KernelConfig::default()
+        };
+        if let Some(q) = self.quantum {
+            config.quantum = q;
+        }
+        let machine = Machine::itsy(self.initial_step, self.workload.devices());
+        let mut kernel = Kernel::new(machine, config);
+        self.workload.spawn_into(&mut kernel, self.seed);
+        kernel.install_policy(self.policy.build(ClockTable::sa1100()));
+        let report = kernel.run();
+
+        let frames_shown = report
+            .deadlines
+            .records()
+            .iter()
+            .filter(|d| d.label == "frame")
+            .count() as u64;
+        let frames_dropped = report
+            .deadlines
+            .records()
+            .iter()
+            .filter(|d| d.label == "frame_dropped")
+            .count() as u64;
+        JobResult {
+            energy_j: report.energy.as_joules(),
+            core_energy_j: report.core_energy.as_joules(),
+            mean_freq_mhz: report.freq_mhz.mean().unwrap_or(0.0),
+            mean_utilization: report.mean_utilization(),
+            misses: report.deadlines.misses(self.tolerance) as u64,
+            max_lateness_us: report.deadlines.max_lateness().as_micros(),
+            clock_switches: report.clock_switches,
+            voltage_switches: report.voltage_switches,
+            final_step: report.final_step as u64,
+            frames_shown,
+            frames_dropped,
+        }
+    }
+}
+
+/// Bump to invalidate every cached result when simulator semantics
+/// change (see [`JobSpec::canonical`]).
+pub const SIM_VERSION: u32 = 1;
+
+/// The summarized outcome of one run — everything the experiment
+/// harnesses consume, in cache-friendly plain-number form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobResult {
+    /// Total energy, joules.
+    pub energy_j: f64,
+    /// Core-only energy, joules.
+    pub core_energy_j: f64,
+    /// Mean clock over the run, MHz.
+    pub mean_freq_mhz: f64,
+    /// Mean per-quantum utilization.
+    pub mean_utilization: f64,
+    /// Deadline misses beyond the spec's tolerance.
+    pub misses: u64,
+    /// Worst lateness, µs.
+    pub max_lateness_us: u64,
+    /// Clock-step changes.
+    pub clock_switches: u64,
+    /// Core-voltage changes.
+    pub voltage_switches: u64,
+    /// Clock step at the end of the run.
+    pub final_step: u64,
+    /// Frames displayed (elastic MPEG player; 0 otherwise).
+    pub frames_shown: u64,
+    /// Frames dropped (elastic MPEG player; 0 otherwise).
+    pub frames_dropped: u64,
+}
+
+impl JobResult {
+    /// Encodes as stable `key=value` pairs. Floats are `to_bits()` hex
+    /// so a cache round trip is bit-exact — decimal formatting would
+    /// make warm-cache output differ from cold-run output in the last
+    /// ulp.
+    pub fn encode(&self) -> String {
+        format!(
+            "energy_j={:016x};core_energy_j={:016x};mean_freq_mhz={:016x};\
+             mean_utilization={:016x};misses={};max_lateness_us={};clock_switches={};\
+             voltage_switches={};final_step={};frames_shown={};frames_dropped={}",
+            self.energy_j.to_bits(),
+            self.core_energy_j.to_bits(),
+            self.mean_freq_mhz.to_bits(),
+            self.mean_utilization.to_bits(),
+            self.misses,
+            self.max_lateness_us,
+            self.clock_switches,
+            self.voltage_switches,
+            self.final_step,
+            self.frames_shown,
+            self.frames_dropped,
+        )
+    }
+
+    /// Decodes [`JobResult::encode`] output; `None` on any malformed or
+    /// missing field (the caller treats that as a cache miss).
+    pub fn decode(s: &str) -> Option<Self> {
+        let mut fields = std::collections::HashMap::new();
+        for pair in s.trim().split(';') {
+            let (k, v) = pair.split_once('=')?;
+            fields.insert(k.trim(), v.trim());
+        }
+        let f64_field = |k: &str| -> Option<f64> {
+            u64::from_str_radix(fields.get(k)?, 16)
+                .ok()
+                .map(f64::from_bits)
+        };
+        let u64_field = |k: &str| -> Option<u64> { fields.get(k)?.parse().ok() };
+        Some(JobResult {
+            energy_j: f64_field("energy_j")?,
+            core_energy_j: f64_field("core_energy_j")?,
+            mean_freq_mhz: f64_field("mean_freq_mhz")?,
+            mean_utilization: f64_field("mean_utilization")?,
+            misses: u64_field("misses")?,
+            max_lateness_us: u64_field("max_lateness_us")?,
+            clock_switches: u64_field("clock_switches")?,
+            voltage_switches: u64_field("voltage_switches")?,
+            final_step: u64_field("final_step")?,
+            frames_shown: u64_field("frames_shown")?,
+            frames_dropped: u64_field("frames_dropped")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use policies::{Hysteresis, PredictorDesc, SpeedChange};
+
+    fn spec() -> JobSpec {
+        JobSpec::new(
+            WorkloadSpec::Benchmark(Benchmark::Mpeg),
+            PolicyDesc::best_from_paper(),
+            2,
+            1,
+        )
+    }
+
+    #[test]
+    fn key_is_stable_and_sensitive() {
+        let base = spec();
+        assert_eq!(base.key(), spec().key(), "same spec, same key");
+        let mut other = spec();
+        other.seed = 2;
+        assert_ne!(base.key(), other.key(), "seed is part of the address");
+        let mut other = spec();
+        other.duration = SimDuration::from_secs(3);
+        assert_ne!(base.key(), other.key(), "duration is part of the address");
+        let other = spec().with_quantum(SimDuration::from_millis(50));
+        assert_ne!(base.key(), other.key(), "quantum is part of the address");
+        let mut other = spec();
+        other.policy = PolicyDesc::interval(
+            PredictorDesc::AvgN(3),
+            Hysteresis::BEST,
+            SpeedChange::Peg,
+            SpeedChange::Peg,
+        );
+        assert_ne!(base.key(), other.key(), "policy is part of the address");
+    }
+
+    #[test]
+    fn result_codec_roundtrips_bit_exactly() {
+        let r = JobResult {
+            energy_j: 1.0 / 3.0,
+            core_energy_j: f64::MIN_POSITIVE,
+            mean_freq_mhz: 206.4,
+            mean_utilization: 0.749999999999999,
+            misses: 42,
+            max_lateness_us: u64::MAX,
+            clock_switches: 0,
+            voltage_switches: 7,
+            final_step: 10,
+            frames_shown: 300,
+            frames_dropped: 1,
+        };
+        let decoded = JobResult::decode(&r.encode()).expect("decodes");
+        assert_eq!(r, decoded);
+        assert_eq!(JobResult::decode("garbage"), None);
+        assert_eq!(JobResult::decode("energy_j=zz"), None);
+    }
+
+    #[test]
+    fn execute_matches_direct_kernel_run() {
+        // The engine path and the hand-rolled runner path must agree
+        // exactly — they are the same simulation.
+        let r = spec().execute();
+        assert!(r.energy_j > 0.0);
+        let r2 = spec().execute();
+        assert_eq!(r, r2, "execution is deterministic");
+    }
+}

@@ -1,0 +1,159 @@
+//! Append-only checkpoint journal for `--resume`.
+//!
+//! The cache already deduplicates work *across* invocations, but it can
+//! be disabled (`--no-cache`) and it says nothing about which batch a
+//! result belonged to. The journal is the per-batch record: one file
+//! per named batch, one line per completed job —
+//!
+//! ```text
+//! <key-hex> <JobResult::encode() output>
+//! ```
+//!
+//! Lines are appended as jobs finish (single writer: the collector
+//! thread), so a killed run leaves a valid prefix. On `--resume` the
+//! journal is replayed and any job whose key appears is served from it
+//! without re-simulation — independently of the cache. A batch that
+//! runs to completion deletes its journal; a leftover journal therefore
+//! always means "interrupted run".
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::job::JobResult;
+use crate::key::ContentKey;
+
+/// Journal of completed jobs for one named batch.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    writer: Option<BufWriter<File>>,
+}
+
+impl Journal {
+    /// Journal file path for a batch name under a state directory.
+    pub fn path_for(state_dir: &Path, batch: &str) -> PathBuf {
+        // Batch names are short identifiers ("sweep", "govil"), but
+        // sanitize anyway so a weird name can't escape the directory.
+        let safe: String = batch
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        state_dir.join(format!("{safe}.journal"))
+    }
+
+    /// Opens the journal for appending, creating parent dirs as needed.
+    pub fn open(state_dir: &Path, batch: &str) -> io::Result<Self> {
+        fs::create_dir_all(state_dir)?;
+        let path = Self::path_for(state_dir, batch);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal {
+            path,
+            writer: Some(BufWriter::new(file)),
+        })
+    }
+
+    /// Replays an existing journal into a key → result map. Malformed
+    /// lines (e.g. a torn final line from a killed run) are skipped.
+    pub fn replay(state_dir: &Path, batch: &str) -> HashMap<ContentKey, JobResult> {
+        let path = Self::path_for(state_dir, batch);
+        let Ok(text) = fs::read_to_string(&path) else {
+            return HashMap::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let (key, rest) = line.split_once(' ')?;
+                Some((ContentKey::parse(key)?, JobResult::decode(rest)?))
+            })
+            .collect()
+    }
+
+    /// Appends one completed job and flushes, so the line survives a
+    /// kill immediately after.
+    pub fn record(&mut self, key: ContentKey, result: &JobResult) -> io::Result<()> {
+        let w = self.writer.as_mut().expect("journal open");
+        writeln!(w, "{key} {}", result.encode())?;
+        w.flush()
+    }
+
+    /// Marks the batch complete: closes and deletes the journal.
+    pub fn finish(mut self) -> io::Result<()> {
+        drop(self.writer.take());
+        match fs::remove_file(&self.path) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_state(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("engine-journal-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn result(x: f64) -> JobResult {
+        JobResult {
+            energy_j: x,
+            core_energy_j: 0.0,
+            mean_freq_mhz: 0.0,
+            mean_utilization: 0.0,
+            misses: 0,
+            max_lateness_us: 0,
+            clock_switches: 0,
+            voltage_switches: 0,
+            final_step: 0,
+            frames_shown: 0,
+            frames_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn record_replay_finish() {
+        let dir = temp_state("basic");
+        let mut j = Journal::open(&dir, "sweep").expect("open");
+        j.record(ContentKey(1), &result(1.0)).expect("record");
+        j.record(ContentKey(2), &result(2.0)).expect("record");
+        drop(j); // simulate a killed run: journal left behind
+
+        let replayed = Journal::replay(&dir, "sweep");
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[&ContentKey(1)], result(1.0));
+        assert_eq!(replayed[&ContentKey(2)], result(2.0));
+        assert!(Journal::replay(&dir, "other").is_empty());
+
+        // Reopen (a resumed run appends), then finish: journal gone.
+        let j = Journal::open(&dir, "sweep").expect("reopen");
+        j.finish().expect("finish");
+        assert!(Journal::replay(&dir, "sweep").is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped() {
+        let dir = temp_state("torn");
+        let mut j = Journal::open(&dir, "sweep").expect("open");
+        j.record(ContentKey(7), &result(7.0)).expect("record");
+        drop(j);
+        // Append garbage half-line as if the process died mid-write.
+        let path = Journal::path_for(&dir, "sweep");
+        let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+        write!(f, "deadbeef").expect("tear");
+        let replayed = Journal::replay(&dir, "sweep");
+        assert_eq!(replayed.len(), 1);
+        assert!(replayed.contains_key(&ContentKey(7)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,31 @@
+//! Parallel, cache-aware experiment execution.
+//!
+//! The paper's artifacts are grids of independent simulator runs — a
+//! policy sweep is hundreds of cells, each a pure function of its
+//! configuration. This crate turns that purity into infrastructure:
+//!
+//! - [`JobSpec`] describes one run completely and hashes to a stable
+//!   [`ContentKey`];
+//! - [`Engine`] executes batches of specs on a worker pool (`--jobs`),
+//!   with results guaranteed bit-identical for 1 or N workers;
+//! - completed cells persist in a content-addressed cache under
+//!   `results/cache/`, so re-running a sweep only simulates what
+//!   changed;
+//! - a per-batch journal makes interrupted runs resumable (`--resume`)
+//!   even when the cache is off.
+//!
+//! Experiment harnesses build specs, call [`Engine::run_batch`], and
+//! format the returned [`JobResult`]s; they no longer own threading,
+//! skipping, or progress reporting.
+
+pub mod cache;
+mod engine;
+pub mod job;
+pub mod journal;
+pub mod key;
+
+pub use cache::ResultCache;
+pub use engine::{BatchOutcome, BatchStats, Engine, EngineConfig};
+pub use job::{JobResult, JobSpec, WorkloadSpec, SIM_VERSION};
+pub use journal::Journal;
+pub use key::ContentKey;

@@ -10,14 +10,13 @@
 
 use core::fmt;
 
+use engine::{Engine, EngineConfig, JobSpec, WorkloadSpec};
 use itsy_hw::ClockTable;
-use kernel_sim::{Kernel, KernelConfig, Machine};
-use policies::{IntervalScheduler, VoltageRule};
+use policies::{Hysteresis, PolicyDesc, PredictorDesc, SpeedChange, VoltageRule};
 use sim_core::SimDuration;
 use workloads::Benchmark;
 
 use crate::report;
-use crate::runner::TOLERANCE;
 
 /// Result of one interval-length cell.
 #[derive(Debug, Clone, Copy)]
@@ -40,28 +39,33 @@ pub struct IntervalAblation {
 
 /// Runs MPEG under the best policy with 10/50/100 ms intervals.
 pub fn interval_length(seed: u64) -> IntervalAblation {
-    let cells = [10u64, 50, 100]
+    interval_length_with(&Engine::new(EngineConfig::in_memory()), seed)
+}
+
+/// [`interval_length`] on an explicit engine.
+pub fn interval_length_with(eng: &Engine, seed: u64) -> IntervalAblation {
+    const INTERVALS_MS: [u64; 3] = [10, 50, 100];
+    let specs: Vec<JobSpec> = INTERVALS_MS
         .iter()
         .map(|&ms| {
-            let mut kernel = Kernel::new(
-                Machine::itsy(10, Benchmark::Mpeg.devices()),
-                KernelConfig {
-                    quantum: SimDuration::from_millis(ms),
-                    duration: SimDuration::from_secs(30),
-                    ..KernelConfig::default()
-                },
-            );
-            Benchmark::Mpeg.spawn_into(&mut kernel, seed);
-            kernel.install_policy(Box::new(IntervalScheduler::best_from_paper(
-                ClockTable::sa1100(),
-            )));
-            let r = kernel.run();
-            IntervalCell {
-                interval_ms: ms,
-                misses: r.deadlines.misses(TOLERANCE),
-                energy_j: r.energy.as_joules(),
-                max_lateness_ms: r.deadlines.max_lateness().as_micros() / 1_000,
-            }
+            JobSpec::new(
+                WorkloadSpec::Benchmark(Benchmark::Mpeg),
+                PolicyDesc::best_from_paper(),
+                30,
+                seed,
+            )
+            .with_quantum(SimDuration::from_millis(ms))
+        })
+        .collect();
+    let outcome = eng.run_batch("ablation-interval", &specs);
+    let cells = INTERVALS_MS
+        .iter()
+        .zip(&outcome.results)
+        .map(|(&ms, r)| IntervalCell {
+            interval_ms: ms,
+            misses: r.misses as usize,
+            energy_j: r.energy_j,
+            max_lateness_ms: r.max_lateness_us / 1_000,
         })
         .collect();
     IntervalAblation { cells }
@@ -134,34 +138,38 @@ pub struct VscaleAblation {
 /// Runs MPEG under the best policy with varying voltage thresholds.
 /// `threshold_step = usize::MAX` in the result encodes "no scaling".
 pub fn vscale_threshold(seed: u64) -> VscaleAblation {
-    let mut cells = Vec::new();
-    let mut exec = |rule: Option<VoltageRule>| {
-        let mut kernel = Kernel::new(
-            Machine::itsy(10, Benchmark::Mpeg.devices()),
-            KernelConfig {
-                duration: SimDuration::from_secs(30),
-                ..KernelConfig::default()
-            },
-        );
-        Benchmark::Mpeg.spawn_into(&mut kernel, seed);
-        let mut policy = IntervalScheduler::best_from_paper(ClockTable::sa1100());
-        if let Some(r) = rule {
-            policy = policy.with_voltage_rule(r);
-        }
-        kernel.install_policy(Box::new(policy));
-        let r = kernel.run();
-        cells.push(VscaleCell {
+    vscale_threshold_with(&Engine::new(EngineConfig::in_memory()), seed)
+}
+
+/// [`vscale_threshold`] on an explicit engine.
+pub fn vscale_threshold_with(eng: &Engine, seed: u64) -> VscaleAblation {
+    let rules: Vec<Option<VoltageRule>> = std::iter::once(None)
+        .chain([3usize, 5, 7].map(|step| {
+            Some(VoltageRule {
+                low_at_or_below: step,
+            })
+        }))
+        .collect();
+    let specs: Vec<JobSpec> = rules
+        .iter()
+        .map(|rule| {
+            let mut policy = PolicyDesc::best_from_paper();
+            if let Some(r) = rule {
+                policy = policy.with_voltage_rule(*r);
+            }
+            JobSpec::new(WorkloadSpec::Benchmark(Benchmark::Mpeg), policy, 30, seed)
+        })
+        .collect();
+    let outcome = eng.run_batch("ablation-vscale", &specs);
+    let cells = rules
+        .iter()
+        .zip(&outcome.results)
+        .map(|(rule, r)| VscaleCell {
             threshold_step: rule.map_or(usize::MAX, |r| r.low_at_or_below),
-            energy_j: r.energy.as_joules(),
-            misses: r.deadlines.misses(TOLERANCE),
-        });
-    };
-    exec(None);
-    for step in [3usize, 5, 7] {
-        exec(Some(VoltageRule {
-            low_at_or_below: step,
-        }));
-    }
+            energy_j: r.energy_j,
+            misses: r.misses as usize,
+        })
+        .collect();
     VscaleAblation { cells }
 }
 
@@ -233,39 +241,28 @@ pub struct PollerCell {
 /// and measures the *additional* switching, clock elevation and energy
 /// the poll ripple contributes on top of the workload's own bursts.
 pub fn java_poller(seed: u64) -> (PollerCell, PollerCell) {
-    use policies::{AvgN, Hysteresis, SpeedChange};
-    use workloads::{JavaPoller, WebWorkload};
+    java_poller_with(&Engine::new(EngineConfig::in_memory()), seed)
+}
 
-    let exec = |with_poller: bool| {
-        let mut kernel = Kernel::new(
-            Machine::itsy(10, itsy_hw::DeviceSet::LCD),
-            KernelConfig {
-                duration: SimDuration::from_secs(60),
-                ..KernelConfig::default()
-            },
-        );
-        kernel.spawn(Box::new(workloads::web::Browser::new(
-            WebWorkload::browse_trace(seed),
-        )));
-        if with_poller {
-            kernel.spawn(Box::new(JavaPoller::new()));
-        }
-        kernel.install_policy(Box::new(IntervalScheduler::new(
-            Box::new(AvgN::new(3)),
-            Hysteresis::BEST,
-            SpeedChange::One,
-            SpeedChange::One,
-            ClockTable::sa1100(),
-        )));
-        let r = kernel.run();
-        PollerCell {
-            with_poller,
-            switches: r.clock_switches,
-            mean_mhz: r.freq_mhz.mean().unwrap_or(0.0),
-            energy_j: r.energy.as_joules(),
-        }
+/// [`java_poller`] on an explicit engine.
+pub fn java_poller_with(eng: &Engine, seed: u64) -> (PollerCell, PollerCell) {
+    let policy = PolicyDesc::interval(
+        PredictorDesc::AvgN(3),
+        Hysteresis::BEST,
+        SpeedChange::One,
+        SpeedChange::One,
+    );
+    let specs: Vec<JobSpec> = [false, true]
+        .map(|poller| JobSpec::new(WorkloadSpec::WebBrowse { poller }, policy, 60, seed))
+        .to_vec();
+    let outcome = eng.run_batch("ablation-poller", &specs);
+    let cell = |i: usize, with_poller: bool| PollerCell {
+        with_poller,
+        switches: outcome.results[i].clock_switches,
+        mean_mhz: outcome.results[i].mean_freq_mhz,
+        energy_j: outcome.results[i].energy_j,
     };
-    (exec(false), exec(true))
+    (cell(0, false), cell(1, true))
 }
 
 #[cfg(test)]

@@ -1,7 +1,8 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--seed N] [all | fig3 fig4 fig5 fig6 fig7 fig8 fig9
+//! repro [--seed N] [--jobs N] [--resume] [--no-cache]
+//!       [all | fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!        table1 table2 table3 battery sa2 cost
 //!        sweep sweep-full deadline ablation govil elastic
 //!        tracedriven timescale summary oracle memprobe modern spectrum]
@@ -9,26 +10,79 @@
 //!
 //! Results are printed (tables + ASCII charts) and saved as CSV under
 //! `results/` (override with `REPRO_RESULTS_DIR`).
+//!
+//! The grid experiments (`sweep`, `sweep-full`, `govil`, `ablation`)
+//! run on the execution engine:
+//!
+//! - `--jobs N` — worker threads (default: one per core). Results are
+//!   bit-identical whatever `N` is.
+//! - completed cells persist in `results/cache/`; a re-run only
+//!   simulates cells whose configuration changed. `--no-cache` turns
+//!   the cache off for this invocation.
+//! - `--resume` — replay the journal an interrupted run left behind
+//!   instead of re-simulating its completed cells.
 
 use std::time::Instant;
 
+use engine::{BatchStats, Engine, EngineConfig};
 use experiments::plot;
 use experiments::*;
 
+/// Consumes `--flag <value>` from `args`; `None` if absent.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args[pos + 1].clone();
+    args.drain(pos..=pos + 1);
+    Some(value)
+}
+
+/// Consumes a bare `--flag` from `args`; true if present.
+fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+fn print_stats(stats: &BatchStats) {
+    println!(
+        "    engine: {} cells, {} simulated on {} worker(s), {} cache hit(s), {} journal hit(s)",
+        stats.total, stats.executed, stats.workers, stats.cache_hits, stats.journal_hits
+    );
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut seed: u64 = 1;
-    if let Some(pos) = args.iter().position(|a| a == "--seed") {
-        if pos + 1 >= args.len() {
-            eprintln!("--seed needs a value");
-            std::process::exit(2);
-        }
-        seed = args[pos + 1].parse().unwrap_or_else(|e| {
-            eprintln!("bad seed: {e}");
-            std::process::exit(2);
-        });
-        args.drain(pos..=pos + 1);
-    }
+    let seed: u64 = take_value_flag(&mut args, "--seed")
+        .map(|v| {
+            v.parse().unwrap_or_else(|e| {
+                eprintln!("bad seed: {e}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(1);
+    let jobs: usize = take_value_flag(&mut args, "--jobs")
+        .map(|v| {
+            v.parse().unwrap_or_else(|e| {
+                eprintln!("bad --jobs value: {e}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0);
+    let engine = Engine::new(EngineConfig {
+        jobs,
+        use_cache: !take_bool_flag(&mut args, "--no-cache"),
+        resume: take_bool_flag(&mut args, "--resume"),
+        state_root: None,
+        progress: true,
+    });
     #[allow(non_snake_case)]
     let SEED = seed;
     let want: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
@@ -165,14 +219,16 @@ fn main() {
                 println!("{r}");
             }
             "sweep" => {
-                let r = sweep::run(&sweep::SweepConfig::quick(), SEED);
+                let (r, stats) = sweep::run_with(&engine, &sweep::SweepConfig::quick(), SEED);
                 r.save().expect("save sweep");
                 println!("{r}");
+                print_stats(&stats);
             }
             "sweep-full" => {
-                let r = sweep::run(&sweep::SweepConfig::full(), SEED);
+                let (r, stats) = sweep::run_with(&engine, &sweep::SweepConfig::full(), SEED);
                 r.save().expect("save sweep");
                 println!("{r}");
+                print_stats(&stats);
             }
             "deadline" => {
                 let r = deadline_exp::run();
@@ -215,9 +271,10 @@ fn main() {
                 println!("{r}");
             }
             "govil" => {
-                let r = govil_exp::run(SEED);
+                let (r, stats) = govil_exp::run_with(&engine, SEED);
                 r.save().expect("save govil");
                 println!("{r}");
+                print_stats(&stats);
             }
             "elastic" => {
                 let r = elastic::run(SEED);
@@ -225,13 +282,13 @@ fn main() {
                 println!("{r}");
             }
             "ablation" => {
-                let a = ablation::interval_length(SEED);
+                let a = ablation::interval_length_with(&engine, SEED);
                 a.save().expect("save ablation");
                 println!("{a}");
-                let v = ablation::vscale_threshold(SEED);
+                let v = ablation::vscale_threshold_with(&engine, SEED);
                 v.save().expect("save ablation");
                 println!("{v}");
-                let (without, with) = ablation::java_poller(SEED);
+                let (without, with) = ablation::java_poller_with(&engine, SEED);
                 println!("Ablation: Kaffe 30ms poller (Web, AVG_3 one-one)");
                 println!(
                     "  without poller: {} switches, {:.1} MHz mean, {:.1} J",

@@ -94,7 +94,7 @@ impl Elastic {
         self.points
             .iter()
             .filter(|p| p.fps >= fps)
-            .min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).unwrap())
+            .min_by(|a, b| a.energy_j.total_cmp(&b.energy_j))
     }
 
     /// Writes the curve as CSV.

@@ -9,15 +9,14 @@
 
 use core::fmt;
 
-use itsy_hw::ClockTable;
+use engine::{BatchStats, Engine, EngineConfig, JobSpec, WorkloadSpec};
 use policies::{
-    AgedAverage, AvgN, Cycle, Flat, Hysteresis, IntervalScheduler, LongShort, Past, Pattern, Peak,
-    Predictor, SpeedChange,
+    AgedAverage, AvgN, Cycle, Flat, Hysteresis, LongShort, Past, Pattern, Peak, PolicyDesc,
+    Predictor, PredictorDesc, SpeedChange,
 };
 use workloads::Benchmark;
 
 use crate::report;
-use crate::runner::{run_benchmark, RunSpec, TOLERANCE};
 
 /// One predictor × workload cell.
 #[derive(Debug, Clone)]
@@ -60,38 +59,68 @@ pub fn predictor_factories() -> Vec<PredictorFactory> {
     ]
 }
 
-/// Runs the grid: every predictor, peg-peg at the paper's best
-/// thresholds, on MPEG and Web.
-pub fn run(seed: u64) -> GovilExp {
+/// The predictor family as engine-addressable descriptors, in the same
+/// order (and with the same labels) as [`predictor_factories`].
+pub fn predictor_descs() -> Vec<PredictorDesc> {
+    vec![
+        PredictorDesc::Past,
+        PredictorDesc::AvgN(3),
+        PredictorDesc::AvgN(9),
+        PredictorDesc::Flat(0.7),
+        PredictorDesc::LongShort,
+        PredictorDesc::Aged(0.9),
+        PredictorDesc::Cycle,
+        PredictorDesc::Pattern,
+        PredictorDesc::Peak,
+    ]
+}
+
+/// Runs the grid on an explicit engine: every predictor, peg-peg at
+/// the paper's best thresholds, on MPEG and Web.
+pub fn run_with(eng: &Engine, seed: u64) -> (GovilExp, BatchStats) {
     let secs = 20;
     let benchmarks = [Benchmark::Mpeg, Benchmark::Web];
+    let preds = predictor_descs();
+    let mut specs = Vec::new();
+    for &b in &benchmarks {
+        specs.push(JobSpec::new(
+            WorkloadSpec::Benchmark(b),
+            PolicyDesc::constant_top(),
+            secs,
+            seed,
+        ));
+        for &p in &preds {
+            specs.push(JobSpec::new(
+                WorkloadSpec::Benchmark(b),
+                PolicyDesc::interval(p, Hysteresis::BEST, SpeedChange::Peg, SpeedChange::Peg),
+                secs,
+                seed,
+            ));
+        }
+    }
+    let outcome = eng.run_batch("govil", &specs);
+
+    let mut results = outcome.results.iter();
     let mut cells = Vec::new();
     for &b in &benchmarks {
-        let baseline = run_benchmark(&RunSpec::new(b, 10).for_secs(secs).with_seed(seed), None)
-            .energy
-            .as_joules();
-        for (name, factory) in predictor_factories() {
-            let policy = IntervalScheduler::new(
-                factory(),
-                Hysteresis::BEST,
-                SpeedChange::Peg,
-                SpeedChange::Peg,
-                ClockTable::sa1100(),
-            );
-            let r = run_benchmark(
-                &RunSpec::new(b, 10).for_secs(secs).with_seed(seed),
-                Some(Box::new(policy)),
-            );
+        let baseline = results.next().expect("baseline result").energy_j;
+        for p in &preds {
+            let r = results.next().expect("one result per predictor");
             cells.push(GovilCell {
-                predictor: name.to_string(),
+                predictor: p.label(),
                 benchmark: b,
-                energy_j: r.energy.as_joules(),
-                saving: 1.0 - r.energy.as_joules() / baseline,
-                misses: r.deadlines.misses(TOLERANCE),
+                energy_j: r.energy_j,
+                saving: 1.0 - r.energy_j / baseline,
+                misses: r.misses as usize,
             });
         }
     }
-    GovilExp { cells, secs }
+    (GovilExp { cells, secs }, outcome.stats)
+}
+
+/// Runs the grid in memory on all cores (no cache, no journal).
+pub fn run(seed: u64) -> GovilExp {
+    run_with(&Engine::new(EngineConfig::in_memory()), seed).0
 }
 
 impl GovilExp {
@@ -163,6 +192,22 @@ mod tests {
     fn grid_is_complete() {
         let e = exp();
         assert_eq!(e.cells.len(), predictor_factories().len() * 2);
+    }
+
+    #[test]
+    fn descs_and_factories_agree() {
+        // The engine-addressable descriptor list must stay in lockstep
+        // with the legacy factory list: same order, same labels, same
+        // first prediction.
+        let descs = predictor_descs();
+        let factories = predictor_factories();
+        assert_eq!(descs.len(), factories.len());
+        for (d, (name, factory)) in descs.iter().zip(factories) {
+            assert_eq!(d.label(), name);
+            let mut from_desc = d.build();
+            let mut from_factory = factory();
+            assert_eq!(from_desc.observe(0.6), from_factory.observe(0.6), "{name}");
+        }
     }
 
     #[test]

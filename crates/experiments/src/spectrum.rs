@@ -86,7 +86,7 @@ impl Spectrum {
     /// Median magnitude — the noise floor estimate.
     pub fn floor(&self, spectrum: &[f64]) -> f64 {
         let mut v: Vec<f64> = spectrum[1..].to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         v[v.len() / 2]
     }
 

@@ -19,12 +19,11 @@
 
 use core::fmt;
 
-use itsy_hw::ClockTable;
-use policies::{AvgN, Hysteresis, IntervalScheduler, SpeedChange};
+use engine::{BatchStats, Engine, EngineConfig, JobSpec, WorkloadSpec};
+use policies::{Hysteresis, PolicyDesc, PredictorDesc, SpeedChange};
 use workloads::Benchmark;
 
 use crate::report;
-use crate::runner::{run_benchmark, RunSpec, TOLERANCE};
 
 /// One sweep cell.
 #[derive(Debug, Clone)]
@@ -97,85 +96,90 @@ impl SweepConfig {
     }
 }
 
-/// Runs the sweep (cells are independent; they run on worker threads).
-pub fn run(config: &SweepConfig, seed: u64) -> Sweep {
-    let baselines: Vec<(Benchmark, f64)> = config
+/// The grid's job specs: per-workload constant-top baselines first,
+/// then every sweep cell, in deterministic grid order.
+pub fn specs(config: &SweepConfig, seed: u64) -> Vec<JobSpec> {
+    let mut specs: Vec<JobSpec> = config
         .benchmarks
         .iter()
         .map(|&b| {
-            let r = run_benchmark(
-                &RunSpec::new(b, 10).for_secs(config.secs).with_seed(seed),
-                None,
-            );
-            (b, r.energy.as_joules())
+            JobSpec::new(
+                WorkloadSpec::Benchmark(b),
+                PolicyDesc::constant_top(),
+                config.secs,
+                seed,
+            )
         })
         .collect();
-
-    let mut jobs = Vec::new();
     for &b in &config.benchmarks {
         for &n in &config.ns {
             for &up in &config.rules {
                 for &down in &config.rules {
                     for &th in &config.thresholds {
-                        jobs.push((b, n, up, down, th));
+                        specs.push(JobSpec::new(
+                            WorkloadSpec::Benchmark(b),
+                            PolicyDesc::interval(PredictorDesc::AvgN(n), th, up, down),
+                            config.secs,
+                            seed,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    specs
+}
+
+/// Runs the sweep on an explicit engine (the `repro` binary passes one
+/// configured from `--jobs` / `--resume` / `--no-cache`).
+pub fn run_with(eng: &Engine, config: &SweepConfig, seed: u64) -> (Sweep, BatchStats) {
+    let specs = specs(config, seed);
+    let outcome = eng.run_batch("sweep", &specs);
+
+    let n_base = config.benchmarks.len();
+    let baselines = config
+        .benchmarks
+        .iter()
+        .zip(&outcome.results)
+        .map(|(&b, r)| (b, r.energy_j))
+        .collect();
+    let mut results = outcome.results[n_base..].iter();
+    let mut cells = Vec::with_capacity(specs.len() - n_base);
+    for &b in &config.benchmarks {
+        for &n in &config.ns {
+            for &up in &config.rules {
+                for &down in &config.rules {
+                    for &th in &config.thresholds {
+                        let r = results.next().expect("one result per cell");
+                        cells.push(SweepCell {
+                            benchmark: b,
+                            n,
+                            up,
+                            down,
+                            thresholds: th,
+                            energy_j: r.energy_j,
+                            misses: r.misses as usize,
+                            switches: r.clock_switches,
+                        });
                     }
                 }
             }
         }
     }
 
-    let secs = config.secs;
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16);
-    let chunk = jobs.len().div_ceil(workers);
-    let mut cells: Vec<SweepCell> = Vec::with_capacity(jobs.len());
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .chunks(chunk.max(1))
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    chunk
-                        .iter()
-                        .map(|&(b, n, up, down, th)| {
-                            let policy = IntervalScheduler::new(
-                                Box::new(AvgN::new(n)),
-                                th,
-                                up,
-                                down,
-                                ClockTable::sa1100(),
-                            );
-                            let r = run_benchmark(
-                                &RunSpec::new(b, 10).for_secs(secs).with_seed(seed),
-                                Some(Box::new(policy)),
-                            );
-                            SweepCell {
-                                benchmark: b,
-                                n,
-                                up,
-                                down,
-                                thresholds: th,
-                                energy_j: r.energy.as_joules(),
-                                misses: r.deadlines.misses(TOLERANCE),
-                                switches: r.clock_switches,
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            cells.extend(h.join().expect("sweep worker panicked"));
-        }
-    })
-    .expect("sweep scope panicked");
+    (
+        Sweep {
+            cells,
+            baselines,
+            secs: config.secs,
+        },
+        outcome.stats,
+    )
+}
 
-    Sweep {
-        cells,
-        baselines,
-        secs: config.secs,
-    }
+/// Runs the sweep in memory on all cores (no cache, no journal).
+pub fn run(config: &SweepConfig, seed: u64) -> Sweep {
+    run_with(&Engine::new(EngineConfig::in_memory()), config, seed).0
 }
 
 impl Sweep {
@@ -198,7 +202,7 @@ impl Sweep {
         self.cells
             .iter()
             .filter(|c| c.benchmark == b && c.misses == 0)
-            .min_by(|a, c| a.energy_j.partial_cmp(&c.energy_j).unwrap())
+            .min_by(|a, c| a.energy_j.total_cmp(&c.energy_j))
     }
 
     /// Writes all cells as CSV.

@@ -1,0 +1,109 @@
+//! The engine's two headline guarantees, exercised through the real
+//! sweep harness (not synthetic jobs):
+//!
+//! 1. worker count never changes results — `--jobs 1` and `--jobs 8`
+//!    produce bit-identical sweeps;
+//! 2. the cache round trip is exact — a warm re-run simulates nothing
+//!    and returns byte-for-byte the cold run's numbers.
+
+use engine::{Engine, EngineConfig};
+use experiments::sweep::{self, SweepConfig};
+use policies::{Hysteresis, SpeedChange};
+use workloads::Benchmark;
+
+/// A sweep grid small enough for CI but still crossing workloads,
+/// predictors and rules: 2 baselines + 2x2x2x2x1 = 18 cells.
+fn tiny_grid() -> SweepConfig {
+    SweepConfig {
+        benchmarks: vec![Benchmark::Mpeg, Benchmark::Web],
+        ns: vec![0, 3],
+        rules: vec![SpeedChange::One, SpeedChange::Peg],
+        thresholds: vec![Hysteresis::BEST],
+        secs: 3,
+    }
+}
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "experiments-engine-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Byte-level fingerprint of a sweep: every cell's identity plus the
+/// exact bits of every float.
+fn fingerprint(s: &sweep::Sweep) -> String {
+    let mut out = String::new();
+    for (b, e) in &s.baselines {
+        out.push_str(&format!("base {} {:016x}\n", b.name(), e.to_bits()));
+    }
+    for c in &s.cells {
+        out.push_str(&format!(
+            "{} n={} {}-{} {} {:016x} {} {}\n",
+            c.benchmark.name(),
+            c.n,
+            c.up.label(),
+            c.down.label(),
+            c.thresholds,
+            c.energy_j.to_bits(),
+            c.misses,
+            c.switches
+        ));
+    }
+    out
+}
+
+#[test]
+fn sweep_is_bit_identical_across_worker_counts() {
+    let config = tiny_grid();
+    let one = Engine::new(EngineConfig::hermetic());
+    let eight = Engine::new(EngineConfig {
+        jobs: 8,
+        ..EngineConfig::hermetic()
+    });
+    let (s1, st1) = sweep::run_with(&one, &config, 7);
+    let (s8, st8) = sweep::run_with(&eight, &config, 7);
+    assert_eq!(st1.executed, st8.executed, "both runs simulate every cell");
+    assert_eq!(
+        fingerprint(&s1),
+        fingerprint(&s8),
+        "jobs=1 and jobs=8 must agree bit for bit"
+    );
+}
+
+#[test]
+fn warm_cache_run_simulates_nothing_and_matches_cold() {
+    let root = temp_root("warm");
+    let config = tiny_grid();
+    let engine = Engine::new(EngineConfig {
+        jobs: 4,
+        use_cache: true,
+        resume: false,
+        state_root: Some(root.clone()),
+        progress: false,
+    });
+
+    let (cold, cold_stats) = sweep::run_with(&engine, &config, 7);
+    assert_eq!(cold_stats.cache_hits, 0, "cold cache has nothing to hit");
+    assert_eq!(cold_stats.executed, cold_stats.total);
+
+    let (warm, warm_stats) = sweep::run_with(&engine, &config, 7);
+    assert_eq!(
+        warm_stats.executed, 0,
+        "warm run must re-simulate zero cells"
+    );
+    assert_eq!(warm_stats.cache_hits, warm_stats.total, "100% hit rate");
+    assert_eq!(
+        fingerprint(&cold),
+        fingerprint(&warm),
+        "cache round trip must be byte-identical"
+    );
+
+    // A different seed is a different grid: full miss, no stale reuse.
+    let (_, other_stats) = sweep::run_with(&engine, &config, 8);
+    assert_eq!(other_stats.cache_hits, 0, "other seeds must not hit");
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -47,6 +47,7 @@
 //! ```
 
 pub mod cpufreq;
+pub mod descriptor;
 pub mod energy;
 pub mod governor;
 pub mod govil;
@@ -56,6 +57,7 @@ pub mod simple;
 pub mod speed;
 
 pub use cpufreq::{Conservative, Ondemand, Schedutil};
+pub use descriptor::{PolicyDesc, PredictorDesc};
 pub use energy::VfCurve;
 pub use governor::{
     ClockPolicy, ConstantPolicy, Hysteresis, IntervalScheduler, PolicyRequest, VoltageRule,

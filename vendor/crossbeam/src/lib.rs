@@ -1,0 +1,155 @@
+//! Offline stub of `crossbeam`.
+//!
+//! The build container cannot reach crates.io, so this vendored crate
+//! provides the two crossbeam facilities the workspace uses, built on
+//! the standard library:
+//!
+//! - [`thread::scope`] — API-compatible scoped threads, implemented
+//!   over [`std::thread::scope`] (which landed in Rust 1.63, after
+//!   crossbeam's version became idiomatic);
+//! - [`deque::Injector`] — a FIFO job queue shared by the engine's
+//!   worker pool. The real crossbeam injector is lock-free; this one
+//!   guards a `VecDeque` with a mutex, which is indistinguishable for
+//!   the coarse-grained (multi-second) simulation jobs pushed through
+//!   it.
+
+pub mod thread {
+    //! Scoped threads with crossbeam's calling convention.
+
+    use std::any::Any;
+
+    /// Handle passed to spawned closures (crossbeam passes the scope so
+    /// workers can spawn nested threads; nothing in this workspace
+    /// does, so the stub passes an inert token).
+    pub struct ScopeHandle {
+        _private: (),
+    }
+
+    /// A scope in which threads borrowing local data may be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a dummy scope
+        /// handle to match crossbeam's `|scope| ...` signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&ScopeHandle) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(&ScopeHandle { _private: () }))
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the
+    /// enclosing stack frame. Unlike crossbeam, panics in unjoined
+    /// threads propagate when the scope exits (std semantics), so the
+    /// `Err` arm is only reachable through joined handles — callers
+    /// treating `Ok` as success behave identically.
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod deque {
+    //! A shared FIFO work queue (crossbeam's `Injector` surface).
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Result of a steal attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A job was stolen.
+        Success(T),
+        /// Contention; try again (never produced by this stub, kept so
+        /// caller loops match crossbeam's contract).
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Extracts the job, if one was stolen.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A FIFO queue that producers push into and workers steal from.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a job onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Steals a job from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+
+        /// Number of queued jobs.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector poisoned").len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal};
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1, 2, 3];
+        let sum = super::thread::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().expect("worker ok")
+        })
+        .expect("scope ok");
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let q = Injector::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.steal(), Steal::Success(1));
+        assert_eq!(q.steal(), Steal::Success(2));
+        assert_eq!(q.steal(), Steal::Empty);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! The per-test RNG and case accounting behind the `proptest!` macro.
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; generate a fresh case.
+    Reject,
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+/// Number of accepted cases each property test must pass.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+/// A small, fast, deterministic generator (SplitMix64 core), seeded
+/// from the test's full path so every test sees an independent,
+/// reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream from a test's `module_path!()::name`.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name, folded into a fixed global seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift bounded draw (Lemire); bias is < 2^-64 * n,
+        // irrelevant for test-input generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_distinct() {
+        let mut a1 = TestRng::for_test("mod::a");
+        let mut a2 = TestRng::for_test("mod::a");
+        let mut b = TestRng::for_test("mod::b");
+        let s1: Vec<u64> = (0..8).map(|_| a1.next_u64()).collect();
+        let s2: Vec<u64> = (0..8).map(|_| a2.next_u64()).collect();
+        let s3: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = TestRng::for_test("range");
+        for _ in 0..10_000 {
+            assert!(r.below(7) < 7);
+            let u = r.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

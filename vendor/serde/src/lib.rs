@@ -1,0 +1,21 @@
+//! Offline stub of `serde`.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors the minimal surface it actually uses: the two marker traits
+//! and `#[derive(Serialize, Deserialize)]`. No serialization format is
+//! provided or needed — DESIGN.md §7: "serialization formats are
+//! hand-rolled text/CSV to stay dependency-light". The derives mark
+//! types as *intended* to be serializable (and keep the door open for a
+//! real serde swap-in when a registry is available) without generating
+//! any code beyond a trivial trait impl.
+
+/// Marker for types that can be serialized.
+///
+/// The real serde trait's `serialize` method is unused anywhere in this
+/// workspace, so the stub carries no required methods.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

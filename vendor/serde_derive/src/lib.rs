@@ -1,0 +1,55 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` with no
+//! dependencies (no `syn`/`quote`, which are equally unavailable
+//! offline): it scans the raw token stream for the `struct`/`enum`
+//! keyword, takes the following identifier as the type name, and emits
+//! an empty impl of the corresponding marker trait from the stubbed
+//! `serde` crate.
+//!
+//! Limitations (checked against every use in this workspace): the
+//! derived type must be non-generic and must not use `#[serde(...)]`
+//! attributes. Hitting either limit is a compile error, not silent
+//! misbehavior.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following `struct` or `enum`, panicking on
+/// generic types (the stub cannot reproduce serde's bound handling).
+fn type_name(input: TokenStream, trait_name: &str) -> String {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("derive({trait_name}) stub: expected type name, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '<' {
+                        panic!("derive({trait_name}) stub does not support generic type `{name}`");
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("derive({trait_name}) stub: no struct/enum found in input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input, "Serialize");
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("stub impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input, "Deserialize");
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("stub impl parses")
+}
