@@ -49,9 +49,8 @@ fn bench_warm_cache(c: &mut Criterion) {
     let eng = Engine::new(EngineConfig {
         jobs: 0,
         use_cache: true,
-        resume: false,
         state_root: Some(root.clone()),
-        progress: false,
+        ..EngineConfig::hermetic()
     });
     // Prime the cache once; every timed iteration is then a pure
     // cache read of the full grid.

@@ -1,8 +1,8 @@
 //! The batch executor: worker pool + cache + journal + progress.
 //!
 //! [`Engine::run_batch`] takes a named list of [`JobSpec`]s and returns
-//! one [`JobResult`] per spec, in spec order. Three layers may satisfy
-//! a cell before a simulator runs:
+//! one outcome per spec, in spec order. Three layers may satisfy a
+//! cell before a simulator runs:
 //!
 //! 1. the batch journal (when resuming an interrupted run),
 //! 2. the content-addressed cache (unless disabled),
@@ -12,6 +12,24 @@
 //! is a pure function of the specs — never of worker count or of which
 //! worker finished first. Cache and journal writes happen only on the
 //! collector (calling) thread; workers just simulate and send.
+//!
+//! # Failure containment
+//!
+//! A panicking job is caught (`catch_unwind`) inside its worker,
+//! retried up to [`EngineConfig::max_retries`] times, and — if it
+//! never succeeds — reported as a [`JobFailure`] in its result slot.
+//! One bad cell therefore costs one cell, not the batch: every other
+//! cell completes, is cached and journaled as usual, and the journal
+//! is *kept* (instead of deleted on completion) so `--resume` can
+//! retry just the failures. Worker threads that die outside the
+//! catch-unwind fence are detected at join and their in-flight cell is
+//! reported failed rather than aborting the process.
+//!
+//! All of this is testable on demand: an [`EngineConfig::faults`] plan
+//! injects seeded cache corruption, torn journal writes and worker
+//! panics at content-addressed decision points (see [`crate::fault`]),
+//! and the chaos suite asserts the engine's output is bit-identical to
+//! a fault-free run.
 
 use std::path::PathBuf;
 use std::sync::mpsc;
@@ -19,9 +37,11 @@ use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Injector, Steal};
 
-use crate::cache::ResultCache;
+use crate::cache::{CacheProbe, ResultCache};
+use crate::fault::{FaultInjector, FaultPlan, FaultStats};
 use crate::job::{JobResult, JobSpec};
 use crate::journal::Journal;
+use crate::key::ContentKey;
 
 /// How a batch should be executed.
 #[derive(Debug, Clone)]
@@ -37,6 +57,13 @@ pub struct EngineConfig {
     pub state_root: Option<PathBuf>,
     /// Emit progress / throughput lines on stderr.
     pub progress: bool,
+    /// Re-run a panicking job this many times before reporting it
+    /// failed. Two retries tolerate the chaos suite's worst case
+    /// (`max_panics=2`) and cost nothing on healthy runs.
+    pub max_retries: u32,
+    /// Deterministic fault plan to run the batch under; `None` (the
+    /// default everywhere outside chaos tests) injects nothing.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -47,6 +74,8 @@ impl Default for EngineConfig {
             resume: false,
             state_root: None,
             progress: false,
+            max_retries: 2,
+            faults: None,
         }
     }
 }
@@ -61,6 +90,8 @@ impl EngineConfig {
             resume: false,
             state_root: None,
             progress: false,
+            max_retries: 2,
+            faults: None,
         }
     }
 
@@ -85,8 +116,12 @@ pub struct BatchStats {
     pub cache_hits: usize,
     /// Cells served from an interrupted run's journal.
     pub journal_hits: usize,
-    /// Cells actually simulated.
+    /// Cells successfully simulated.
     pub executed: usize,
+    /// Cells that exhausted their retry budget and produced no result.
+    pub failed: usize,
+    /// Damaged cache entries quarantined (and recomputed) this batch.
+    pub quarantined: usize,
     /// Worker threads used (0 when nothing needed executing).
     pub workers: usize,
     /// Wall-clock time for the whole batch, µs.
@@ -103,19 +138,91 @@ impl BatchStats {
     }
 }
 
+/// Why one cell produced no result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobFailure {
+    /// Position of the failed spec in the submitted batch.
+    pub index: usize,
+    /// The spec's content key (feed to `--fault-plan` forensics).
+    pub key: ContentKey,
+    /// Human-readable spec label.
+    pub label: String,
+    /// Execution attempts made (1 + retries).
+    pub attempts: u32,
+    /// The final attempt's panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell #{} ({}, key {}) failed after {} attempt(s): {}",
+            self.index, self.label, self.key, self.attempts, self.message
+        )
+    }
+}
+
 /// Results plus accounting for one batch.
 #[derive(Debug)]
 pub struct BatchOutcome {
-    /// One result per input spec, in input order.
-    pub results: Vec<JobResult>,
+    /// One outcome per input spec, in input order. `Err` slots carry
+    /// the failure report for cells that exhausted their retries.
+    pub results: Vec<Result<JobResult, JobFailure>>,
     /// Where they came from and what they cost.
     pub stats: BatchStats,
+    /// Faults the configured plan actually injected (all zero when
+    /// running without a plan).
+    pub faults: FaultStats,
+}
+
+impl BatchOutcome {
+    /// The failure reports, in batch order.
+    pub fn failures(&self) -> Vec<&JobFailure> {
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .collect()
+    }
+
+    /// Unwraps every result, panicking with a consolidated report if
+    /// any cell failed. Callers that can degrade cell-by-cell should
+    /// match on `results` instead; callers that need the whole grid
+    /// (every completed cell is already cached/journaled, so a re-run
+    /// is cheap) use this.
+    pub fn expect_all(self) -> Vec<JobResult> {
+        let failures = self.failures();
+        if !failures.is_empty() {
+            let report: Vec<String> = failures.iter().map(|f| f.to_string()).collect();
+            panic!(
+                "{} of {} jobs failed (completed cells are cached; re-run to retry):\n  {}",
+                report.len(),
+                self.results.len(),
+                report.join("\n  ")
+            );
+        }
+        self.results
+            .into_iter()
+            .map(|r| r.expect("no failures"))
+            .collect()
+    }
 }
 
 /// The parallel, cache-aware experiment executor.
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     config: EngineConfig,
+}
+
+/// Best-effort text from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl Engine {
@@ -150,16 +257,19 @@ impl Engine {
         })
     }
 
-    /// Runs every spec, returning results in spec order.
+    /// Runs every spec, returning outcomes in spec order.
     ///
     /// `batch` names the journal, so interrupting this call and
     /// re-running with `resume` set picks up where it stopped. The
     /// journal is always *written* (recovery must not require having
     /// predicted the crash); `resume` only controls whether an existing
-    /// one is replayed. A batch that completes deletes its journal.
+    /// one is replayed. A batch that completes with no failures deletes
+    /// its journal; one with failures keeps it so `--resume` retries
+    /// only the failed cells.
     pub fn run_batch(&self, batch: &str, specs: &[JobSpec]) -> BatchOutcome {
         let started = Instant::now();
         let root = self.state_root();
+        let faults = FaultInjector::new(self.config.faults);
         let cache = self
             .config
             .use_cache
@@ -172,24 +282,36 @@ impl Engine {
         } else {
             Default::default()
         };
-        let mut slots: Vec<Option<JobResult>> = Vec::with_capacity(specs.len());
-        let (mut journal_hits, mut cache_hits) = (0usize, 0usize);
+        let mut slots: Vec<Option<Result<JobResult, JobFailure>>> = Vec::with_capacity(specs.len());
+        let (mut journal_hits, mut cache_hits, mut quarantined) = (0usize, 0usize, 0usize);
         for spec in specs {
             let hit = journaled.get(&spec.key()).copied().inspect(|r| {
                 journal_hits += 1;
                 // Backfill the cache so the next batch doesn't depend
                 // on the journal surviving.
                 if let Some(cache) = &cache {
-                    let _ = cache.store(spec, r);
+                    let _ = cache.store_with(spec, r, &faults);
                 }
             });
-            let hit = hit.or_else(|| {
-                cache
-                    .as_ref()
-                    .and_then(|c| c.load(spec))
-                    .inspect(|_| cache_hits += 1)
+            let hit = hit.or_else(|| match &cache {
+                Some(c) => match c.probe(spec, &faults) {
+                    CacheProbe::Hit(r) => {
+                        cache_hits += 1;
+                        Some(r)
+                    }
+                    CacheProbe::Quarantined => {
+                        quarantined += 1;
+                        eprintln!(
+                            "engine: quarantined damaged cache entry for {} (recomputing)",
+                            spec.key()
+                        );
+                        None
+                    }
+                    CacheProbe::Miss => None,
+                },
+                None => None,
             });
-            slots.push(hit);
+            slots.push(hit.map(Ok));
         }
 
         let pending: Vec<(usize, JobSpec)> = slots
@@ -209,47 +331,88 @@ impl Engine {
 
         // Layer 3: simulate the rest on the worker pool.
         let workers = self.worker_count().min(pending.len());
+        let max_retries = self.config.max_retries;
         if !pending.is_empty() {
-            let injector = Injector::new();
+            let queue = Injector::new();
             let to_run = pending.len();
             for job in pending {
-                injector.push(job);
+                queue.push(job);
             }
-            let (tx, rx) = mpsc::channel::<(usize, JobResult)>();
-            crossbeam::thread::scope(|s| {
+            let (tx, rx) = mpsc::channel::<(usize, u32, Result<JobResult, String>)>();
+            let scope_outcome = crossbeam::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(workers);
                 for _ in 0..workers {
                     let tx = tx.clone();
-                    let injector = &injector;
-                    s.spawn(move |_| loop {
-                        match injector.steal() {
+                    let queue = &queue;
+                    let faults = &faults;
+                    handles.push(s.spawn(move |_| loop {
+                        match queue.steal() {
                             Steal::Success((i, spec)) => {
-                                if tx.send((i, spec.execute())).is_err() {
+                                let key = spec.key();
+                                let mut attempt = 0u32;
+                                let outcome = loop {
+                                    attempt += 1;
+                                    let run = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| {
+                                            if faults.worker_panic(key, attempt) {
+                                                panic!(
+                                                    "injected fault: worker panic \
+                                                     (job {key}, attempt {attempt})"
+                                                );
+                                            }
+                                            spec.execute()
+                                        }),
+                                    );
+                                    match run {
+                                        Ok(r) => break Ok(r),
+                                        Err(payload) if attempt > max_retries => {
+                                            break Err(panic_message(payload.as_ref()))
+                                        }
+                                        Err(_) => {} // retry
+                                    }
+                                };
+                                if tx.send((i, attempt, outcome)).is_err() {
                                     break;
                                 }
                             }
                             Steal::Empty => break,
                             Steal::Retry => continue,
                         }
-                    });
+                    }));
                 }
                 drop(tx);
 
                 // Collector: the only thread touching disk or slots.
                 let mut done = 0usize;
                 let mut last_report = Instant::now();
-                for (i, result) in rx {
+                for (i, attempts, outcome) in rx {
                     let spec = &specs[i];
-                    if let Some(cache) = &cache {
-                        if let Err(e) = cache.store(spec, &result) {
-                            eprintln!("engine: cache write failed for {}: {e}", spec.key());
+                    match outcome {
+                        Ok(result) => {
+                            if let Some(cache) = &cache {
+                                if let Err(e) = cache.store_with(spec, &result, &faults) {
+                                    eprintln!("engine: cache write failed for {}: {e}", spec.key());
+                                }
+                            }
+                            if let Some(j) = &mut journal {
+                                if let Err(e) = j.record_with(spec.key(), &result, &faults) {
+                                    eprintln!("engine: journal write failed: {e}");
+                                }
+                            }
+                            slots[i] = Some(Ok(result));
+                        }
+                        Err(message) => {
+                            let failure = JobFailure {
+                                index: i,
+                                key: spec.key(),
+                                label: spec.label(),
+                                attempts,
+                                message,
+                            };
+                            eprintln!("engine: {failure}");
+                            slots[i] = Some(Err(failure));
                         }
                     }
-                    if let Some(j) = &mut journal {
-                        if let Err(e) = j.record(spec.key(), &result) {
-                            eprintln!("engine: journal write failed: {e}");
-                        }
-                    }
-                    slots[i] = Some(result);
                     done += 1;
                     if self.config.progress
                         && (done == to_run || last_report.elapsed() >= Duration::from_millis(500))
@@ -264,13 +427,70 @@ impl Engine {
                         );
                     }
                 }
-            })
-            .expect("engine worker panicked");
+
+                // Per-worker error status: a worker that died outside
+                // the catch-unwind fence (an engine bug, not a job
+                // panic) is reported instead of aborting the process.
+                let mut dead_workers = 0usize;
+                for h in handles {
+                    if let Err(payload) = h.join() {
+                        dead_workers += 1;
+                        eprintln!(
+                            "engine: worker thread died: {}",
+                            panic_message(payload.as_ref())
+                        );
+                    }
+                }
+                dead_workers
+            });
+            let dead_workers = match scope_outcome {
+                Ok(n) => n,
+                Err(payload) => {
+                    // Unreachable with joined handles, but never abort
+                    // the batch over it.
+                    eprintln!(
+                        "engine: worker scope failed: {}",
+                        panic_message(payload.as_ref())
+                    );
+                    1
+                }
+            };
+            // A dead worker's in-flight cell never reported; fail any
+            // still-empty slot rather than pretending it ran.
+            if dead_workers > 0 {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    if slot.is_none() {
+                        *slot = Some(Err(JobFailure {
+                            index: i,
+                            key: specs[i].key(),
+                            label: specs[i].label(),
+                            attempts: 0,
+                            message: "worker thread died before completing this job".to_string(),
+                        }));
+                    }
+                }
+            }
         }
 
+        let results: Vec<Result<JobResult, JobFailure>> = slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect();
+        let failed = results.iter().filter(|r| r.is_err()).count();
+
         if let Some(j) = journal.take() {
-            if let Err(e) = j.finish() {
-                eprintln!("engine: could not clear journal for `{batch}`: {e}");
+            if failed == 0 {
+                if let Err(e) = j.finish() {
+                    eprintln!("engine: could not clear journal for `{batch}`: {e}");
+                }
+            } else {
+                // Keep the journal: it holds every completed cell, so
+                // a `--resume` re-run retries only the failures.
+                drop(j);
+                eprintln!(
+                    "engine: keeping journal for `{batch}` ({failed} failed job(s)); \
+                     re-run with --resume to retry them"
+                );
             }
         }
 
@@ -278,7 +498,9 @@ impl Engine {
             total: specs.len(),
             cache_hits,
             journal_hits,
-            executed: specs.len() - cache_hits - journal_hits,
+            executed: specs.len() - cache_hits - journal_hits - failed,
+            failed,
+            quarantined,
             workers,
             elapsed_us: started.elapsed().as_micros() as u64,
         };
@@ -293,13 +515,26 @@ impl Engine {
                 stats.cache_hits,
                 stats.journal_hits,
             );
+            if faults.is_active() {
+                let fs = faults.stats();
+                eprintln!(
+                    "[{batch}] faults injected under plan `{}`: {} total \
+                     ({} read err, {} corrupt, {} truncate, {} write err, {} torn, {} panic)",
+                    faults.plan(),
+                    fs.total(),
+                    fs.read_errors,
+                    fs.corruptions,
+                    fs.truncations,
+                    fs.write_errors,
+                    fs.torn_writes,
+                    fs.panics,
+                );
+            }
         }
         BatchOutcome {
-            results: slots
-                .into_iter()
-                .map(|s| s.expect("every slot filled"))
-                .collect(),
+            results,
             stats,
+            faults: faults.stats(),
         }
     }
 }
@@ -383,7 +618,8 @@ mod tests {
         let state_dir = root.join("state");
         let mut j = Journal::open(&state_dir, "t").expect("open");
         for (spec, r) in specs.iter().zip(&reference.results).take(2) {
-            j.record(spec.key(), r).expect("record");
+            j.record(spec.key(), r.as_ref().expect("reference ok"))
+                .expect("record");
         }
         drop(j);
 
@@ -407,5 +643,117 @@ mod tests {
         assert!(out.results.is_empty());
         assert_eq!(out.stats.total, 0);
         assert_eq!(out.stats.executed, 0);
+    }
+
+    #[test]
+    fn injected_panics_are_retried_to_success() {
+        // Every job panics on attempts 1 and 2 and runs clean on 3;
+        // with two retries the batch must complete with full results
+        // identical to an unfaulted run.
+        let specs = grid();
+        let clean = Engine::new(EngineConfig::hermetic()).run_batch("t", &specs);
+        let chaotic = Engine::new(EngineConfig {
+            jobs: 4,
+            faults: Some(FaultPlan {
+                panic: 1.0,
+                max_panics: 2,
+                ..FaultPlan::default()
+            }),
+            ..EngineConfig::hermetic()
+        })
+        .run_batch("t", &specs);
+        assert_eq!(chaotic.faults.panics, 2 * specs.len() as u64);
+        assert_eq!(chaotic.stats.failed, 0);
+        assert_eq!(
+            chaotic.results, clean.results,
+            "retries must not change bits"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_cell_not_the_batch() {
+        // Unbounded panics against a zero-retry budget: every cell
+        // fails, the batch still returns, and the failure report says
+        // what happened. This is the regression test for the old
+        // `.expect("engine worker panicked")` abort.
+        let root = temp_root("fail");
+        let specs = grid();
+        let out = Engine::new(EngineConfig {
+            jobs: 2,
+            max_retries: 0,
+            state_root: Some(root.clone()),
+            faults: Some(FaultPlan {
+                panic: 1.0,
+                max_panics: u32::MAX,
+                ..FaultPlan::default()
+            }),
+            ..EngineConfig::hermetic()
+        })
+        .run_batch("t", &specs);
+        assert_eq!(out.stats.failed, specs.len());
+        assert_eq!(out.stats.executed, 0);
+        assert_eq!(out.failures().len(), specs.len());
+        for (i, f) in out.failures().into_iter().enumerate() {
+            assert_eq!(f.index, i);
+            assert_eq!(f.attempts, 1, "zero retries = one attempt");
+            assert!(f.message.contains("injected fault"), "{}", f.message);
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn partial_failure_keeps_journal_for_resume() {
+        // One seeded fault plan fails some cells; the journal must
+        // survive with the successes so a --resume run retries only
+        // the failures and converges to the clean result.
+        let root = temp_root("partial");
+        let specs = grid();
+        let clean = Engine::new(EngineConfig::hermetic()).run_batch("t", &specs);
+
+        // Panic probability 1 but only for the first attempt, with no
+        // retry budget: every executed cell fails this round.
+        let first = Engine::new(EngineConfig {
+            max_retries: 0,
+            state_root: Some(root.clone()),
+            faults: Some(FaultPlan {
+                panic: 1.0,
+                max_panics: 1,
+                ..FaultPlan::default()
+            }),
+            ..EngineConfig::hermetic()
+        })
+        .run_batch("t", &specs);
+        assert!(first.stats.failed == specs.len());
+
+        // Resume with a clean engine: failures re-run and succeed.
+        let resumed = Engine::new(EngineConfig {
+            resume: true,
+            state_root: Some(root.clone()),
+            ..EngineConfig::hermetic()
+        })
+        .run_batch("t", &specs);
+        assert_eq!(resumed.stats.failed, 0);
+        assert_eq!(resumed.results, clean.results);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn expect_all_panics_with_consolidated_report() {
+        let specs = grid();
+        let out = Engine::new(EngineConfig {
+            max_retries: 0,
+            faults: Some(FaultPlan {
+                panic: 1.0,
+                max_panics: u32::MAX,
+                ..FaultPlan::default()
+            }),
+            ..EngineConfig::hermetic()
+        })
+        .run_batch("t", &specs);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| out.expect_all()))
+            .expect_err("must panic");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("4 of 4 jobs failed"), "{msg}");
+        assert!(msg.contains("cell #0"), "{msg}");
     }
 }

@@ -3,26 +3,33 @@
 //! The cache already deduplicates work *across* invocations, but it can
 //! be disabled (`--no-cache`) and it says nothing about which batch a
 //! result belonged to. The journal is the per-batch record: one file
-//! per named batch, one line per completed job —
+//! per named batch, one CRC-framed line per completed job —
 //!
 //! ```text
-//! <key-hex> <JobResult::encode() output>
+//! <key-hex> <crc-hex> <JobResult::encode() output>
 //! ```
 //!
-//! Lines are appended as jobs finish (single writer: the collector
-//! thread), so a killed run leaves a valid prefix. On `--resume` the
-//! journal is replayed and any job whose key appears is served from it
-//! without re-simulation — independently of the cache. A batch that
-//! runs to completion deletes its journal; a leftover journal therefore
-//! always means "interrupted run".
+//! where `crc` is FNV-1a 64 over `"<key-hex> <payload>"`. Lines are
+//! appended as jobs finish (single writer: the collector thread), so a
+//! killed run leaves a valid prefix; the CRC is what makes that safe
+//! to rely on. A torn final write — or a record merged with a torn
+//! predecessor after the process was killed mid-`write(2)` — fails its
+//! CRC and is *skipped* on replay rather than misparsed into a wrong
+//! result; the affected cells are simply recomputed.
+//!
+//! On `--resume` the journal is replayed and any job whose key appears
+//! is served from it without re-simulation — independently of the
+//! cache. A batch that runs to completion deletes its journal; a
+//! leftover journal therefore always means "interrupted run".
 
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+use crate::fault::FaultInjector;
 use crate::job::JobResult;
-use crate::key::ContentKey;
+use crate::key::{fnv64, ContentKey};
 
 /// Journal of completed jobs for one named batch.
 #[derive(Debug)]
@@ -60,26 +67,63 @@ impl Journal {
         })
     }
 
-    /// Replays an existing journal into a key → result map. Malformed
-    /// lines (e.g. a torn final line from a killed run) are skipped.
+    /// One record's on-disk line (without the trailing newline).
+    fn frame(key: ContentKey, encoded: &str) -> String {
+        let body = format!("{key} {encoded}");
+        let crc = fnv64(body.as_bytes());
+        format!("{key} {crc:016x} {encoded}")
+    }
+
+    /// Parses and validates one line; `None` for anything damaged.
+    fn parse_line(line: &str) -> Option<(ContentKey, JobResult)> {
+        let mut parts = line.splitn(3, ' ');
+        let key_hex = parts.next()?;
+        let crc_hex = parts.next()?;
+        let payload = parts.next()?;
+        let key = ContentKey::parse(key_hex)?;
+        let crc = u64::from_str_radix(crc_hex, 16).ok()?;
+        if crc != fnv64(format!("{key_hex} {payload}").as_bytes()) {
+            return None;
+        }
+        Some((key, JobResult::decode(payload)?))
+    }
+
+    /// Replays an existing journal into a key → result map. Damaged
+    /// lines — a torn tail from a killed run, a record merged with a
+    /// torn predecessor, any CRC mismatch — are skipped; everything
+    /// that passes is a record that was durably and fully written.
     pub fn replay(state_dir: &Path, batch: &str) -> HashMap<ContentKey, JobResult> {
         let path = Self::path_for(state_dir, batch);
-        let Ok(text) = fs::read_to_string(&path) else {
+        let Ok(bytes) = fs::read(&path) else {
             return HashMap::new();
         };
-        text.lines()
-            .filter_map(|line| {
-                let (key, rest) = line.split_once(' ')?;
-                Some((ContentKey::parse(key)?, JobResult::decode(rest)?))
-            })
+        String::from_utf8_lossy(&bytes)
+            .lines()
+            .filter_map(Self::parse_line)
             .collect()
     }
 
     /// Appends one completed job and flushes, so the line survives a
     /// kill immediately after.
     pub fn record(&mut self, key: ContentKey, result: &JobResult) -> io::Result<()> {
+        self.record_with(key, result, &FaultInjector::inert())
+    }
+
+    /// [`record`](Self::record) under a fault injector that may tear
+    /// the write: only a prefix of the framed line lands on disk, and
+    /// — as with a real torn write — the caller is *not* told.
+    pub fn record_with(
+        &mut self,
+        key: ContentKey,
+        result: &JobResult,
+        faults: &FaultInjector,
+    ) -> io::Result<()> {
         let w = self.writer.as_mut().expect("journal open");
-        writeln!(w, "{key} {}", result.encode())?;
+        let line = format!("{}\n", Self::frame(key, &result.encode()));
+        match faults.journal_tear(key, line.len()) {
+            Some(keep) => w.write_all(&line.as_bytes()[..keep])?,
+            None => w.write_all(line.as_bytes())?,
+        }
         w.flush()
     }
 
@@ -96,6 +140,7 @@ impl Journal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     fn temp_state(tag: &str) -> PathBuf {
         let dir =
@@ -154,6 +199,57 @@ mod tests {
         let replayed = Journal::replay(&dir, "sweep");
         assert_eq!(replayed.len(), 1);
         assert!(replayed.contains_key(&ContentKey(7)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_record_fails_crc_and_is_skipped() {
+        let dir = temp_state("crc");
+        let mut j = Journal::open(&dir, "sweep").expect("open");
+        j.record(ContentKey(1), &result(1.0)).expect("record");
+        j.record(ContentKey(2), &result(2.0)).expect("record");
+        drop(j);
+        // Flip one payload bit of the first record; the CRC framing
+        // must reject it while the second record survives.
+        let path = Journal::path_for(&dir, "sweep");
+        let mut bytes = fs::read(&path).expect("read");
+        let hit = bytes.iter().position(|&b| b == b'=').expect("payload");
+        bytes[hit + 1] ^= 0x01;
+        fs::write(&path, &bytes).expect("corrupt");
+        let replayed = Journal::replay(&dir, "sweep");
+        assert_eq!(replayed.len(), 1);
+        assert!(replayed.contains_key(&ContentKey(2)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_tear_loses_records_but_never_misparses() {
+        let dir = temp_state("inject");
+        let tear_second = FaultInjector::new(Some(FaultPlan {
+            torn: 1.0,
+            ..FaultPlan::default()
+        }));
+        let mut j = Journal::open(&dir, "sweep").expect("open");
+        j.record(ContentKey(1), &result(1.0)).expect("record");
+        // This record tears: only a prefix lands, no newline.
+        j.record_with(ContentKey(2), &result(2.0), &tear_second)
+            .expect("torn record still reports ok, like a real torn write");
+        // The next record appends onto the torn line and is lost with
+        // it — the cost of a tear is recomputation, never bad data.
+        j.record(ContentKey(3), &result(3.0)).expect("record");
+        j.record(ContentKey(4), &result(4.0)).expect("record");
+        drop(j);
+
+        assert_eq!(tear_second.stats().torn_writes, 1);
+        let replayed = Journal::replay(&dir, "sweep");
+        assert_eq!(
+            replayed
+                .keys()
+                .map(|k| k.0)
+                .collect::<std::collections::BTreeSet<_>>(),
+            [1u128, 4].into_iter().collect(),
+            "torn record and its merge victim are skipped; the rest replay"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 }

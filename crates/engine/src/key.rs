@@ -16,6 +16,21 @@ use core::fmt;
 const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
 const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
 
+const FNV64_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV64_PRIME: u64 = 0x00000100000001b3;
+
+/// FNV-1a 64 over raw bytes: the payload checksum used by cache
+/// entries and journal records. Like [`ContentKey`], it is defined
+/// over bytes so checksums are stable across platforms and runs.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = FNV64_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV64_PRIME);
+    }
+    h
+}
+
 /// A stable 128-bit content address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ContentKey(pub u128);
@@ -65,6 +80,16 @@ mod tests {
         assert_eq!(s.len(), 32);
         assert_eq!(ContentKey::parse(&s), Some(k));
         assert_eq!(ContentKey::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn fnv64_known_vectors() {
+        // FNV-1a 64 of the empty input is the offset basis; a pinned
+        // non-trivial vector guards against accidental edits — drift
+        // here silently invalidates every checksummed cache entry.
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_ne!(fnv64(b"ab"), fnv64(b"ba"));
     }
 
     #[test]

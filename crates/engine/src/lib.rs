@@ -17,15 +17,26 @@
 //! Experiment harnesses build specs, call [`Engine::run_batch`], and
 //! format the returned [`JobResult`]s; they no longer own threading,
 //! skipping, or progress reporting.
+//!
+//! The engine is also hardened against the failures this state
+//! implies: cache entries are checksummed (damaged ones are
+//! quarantined and recomputed, never served), journal records are
+//! CRC-framed (a torn tail is skipped, never misparsed), and a
+//! panicking job is retried and then reported as a [`JobFailure`]
+//! instead of killing the batch. A deterministic fault-injection
+//! layer ([`fault`]) exercises all of it on demand — see
+//! `--fault-plan` on the `repro` binary.
 
 pub mod cache;
 mod engine;
+pub mod fault;
 pub mod job;
 pub mod journal;
 pub mod key;
 
-pub use cache::ResultCache;
-pub use engine::{BatchOutcome, BatchStats, Engine, EngineConfig};
+pub use cache::{CacheProbe, ResultCache};
+pub use engine::{BatchOutcome, BatchStats, Engine, EngineConfig, JobFailure};
+pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use job::{JobResult, JobSpec, WorkloadSpec, SIM_VERSION};
 pub use journal::Journal;
 pub use key::ContentKey;

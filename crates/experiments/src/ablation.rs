@@ -57,10 +57,10 @@ pub fn interval_length_with(eng: &Engine, seed: u64) -> IntervalAblation {
             .with_quantum(SimDuration::from_millis(ms))
         })
         .collect();
-    let outcome = eng.run_batch("ablation-interval", &specs);
+    let results = eng.run_batch("ablation-interval", &specs).expect_all();
     let cells = INTERVALS_MS
         .iter()
-        .zip(&outcome.results)
+        .zip(&results)
         .map(|(&ms, r)| IntervalCell {
             interval_ms: ms,
             misses: r.misses as usize,
@@ -160,10 +160,10 @@ pub fn vscale_threshold_with(eng: &Engine, seed: u64) -> VscaleAblation {
             JobSpec::new(WorkloadSpec::Benchmark(Benchmark::Mpeg), policy, 30, seed)
         })
         .collect();
-    let outcome = eng.run_batch("ablation-vscale", &specs);
+    let results = eng.run_batch("ablation-vscale", &specs).expect_all();
     let cells = rules
         .iter()
-        .zip(&outcome.results)
+        .zip(&results)
         .map(|(rule, r)| VscaleCell {
             threshold_step: rule.map_or(usize::MAX, |r| r.low_at_or_below),
             energy_j: r.energy_j,
@@ -255,12 +255,12 @@ pub fn java_poller_with(eng: &Engine, seed: u64) -> (PollerCell, PollerCell) {
     let specs: Vec<JobSpec> = [false, true]
         .map(|poller| JobSpec::new(WorkloadSpec::WebBrowse { poller }, policy, 60, seed))
         .to_vec();
-    let outcome = eng.run_batch("ablation-poller", &specs);
+    let results = eng.run_batch("ablation-poller", &specs).expect_all();
     let cell = |i: usize, with_poller: bool| PollerCell {
         with_poller,
-        switches: outcome.results[i].clock_switches,
-        mean_mhz: outcome.results[i].mean_freq_mhz,
-        energy_j: outcome.results[i].energy_j,
+        switches: results[i].clock_switches,
+        mean_mhz: results[i].mean_freq_mhz,
+        energy_j: results[i].energy_j,
     };
     (cell(0, false), cell(1, true))
 }

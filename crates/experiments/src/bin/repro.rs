@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [--seed N] [--jobs N] [--resume] [--no-cache]
+//!       [--sweep-secs N] [--fault-plan SPEC]
 //!       [all | fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!        table1 table2 table3 battery sa2 cost
 //!        sweep sweep-full deadline ablation govil elastic
@@ -21,10 +22,17 @@
 //!   the cache off for this invocation.
 //! - `--resume` — replay the journal an interrupted run left behind
 //!   instead of re-simulating its completed cells.
+//! - `--sweep-secs N` — override seconds simulated per sweep cell
+//!   (shrinks `sweep` for smoke tests, stretches it for studies).
+//! - `--fault-plan SPEC` — run the batch under deterministic fault
+//!   injection (see EXPERIMENTS.md). `SPEC` is either the preset
+//!   `chaos:<seed>` or explicit `key=value` pairs, e.g.
+//!   `seed=7,corrupt=0.25,torn=0.25,panic=0.25,max_panics=2`.
+//!   The same spec replays the same faults, whatever `--jobs` is.
 
 use std::time::Instant;
 
-use engine::{BatchStats, Engine, EngineConfig};
+use engine::{BatchStats, Engine, EngineConfig, FaultPlan};
 use experiments::plot;
 use experiments::*;
 
@@ -52,10 +60,17 @@ fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
 }
 
 fn print_stats(stats: &BatchStats) {
-    println!(
+    let mut line = format!(
         "    engine: {} cells, {} simulated on {} worker(s), {} cache hit(s), {} journal hit(s)",
         stats.total, stats.executed, stats.workers, stats.cache_hits, stats.journal_hits
     );
+    if stats.quarantined > 0 {
+        line.push_str(&format!(", {} quarantined", stats.quarantined));
+    }
+    if stats.failed > 0 {
+        line.push_str(&format!(", {} FAILED", stats.failed));
+    }
+    println!("{line}");
 }
 
 fn main() {
@@ -76,13 +91,34 @@ fn main() {
             })
         })
         .unwrap_or(0);
+    let sweep_secs: Option<u64> = take_value_flag(&mut args, "--sweep-secs").map(|v| {
+        v.parse().unwrap_or_else(|e| {
+            eprintln!("bad --sweep-secs value: {e}");
+            std::process::exit(2);
+        })
+    });
+    let faults: Option<FaultPlan> = take_value_flag(&mut args, "--fault-plan").map(|v| {
+        let parsed = match v.strip_prefix("chaos:") {
+            Some(seed) => seed
+                .parse::<u64>()
+                .map(FaultPlan::chaos)
+                .map_err(|e| format!("bad chaos seed: {e}")),
+            None => FaultPlan::parse(&v),
+        };
+        parsed.unwrap_or_else(|e| {
+            eprintln!("bad --fault-plan: {e}");
+            std::process::exit(2);
+        })
+    });
     let engine = Engine::new(EngineConfig {
         jobs,
         use_cache: !take_bool_flag(&mut args, "--no-cache"),
         resume: take_bool_flag(&mut args, "--resume"),
-        state_root: None,
+        faults,
         progress: true,
+        ..EngineConfig::default()
     });
+    let mut cells_failed = 0usize;
     #[allow(non_snake_case)]
     let SEED = seed;
     let want: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
@@ -219,16 +255,26 @@ fn main() {
                 println!("{r}");
             }
             "sweep" => {
-                let (r, stats) = sweep::run_with(&engine, &sweep::SweepConfig::quick(), SEED);
+                let mut config = sweep::SweepConfig::quick();
+                if let Some(secs) = sweep_secs {
+                    config.secs = secs;
+                }
+                let (r, stats) = sweep::run_with(&engine, &config, SEED);
                 r.save().expect("save sweep");
                 println!("{r}");
                 print_stats(&stats);
+                cells_failed += stats.failed;
             }
             "sweep-full" => {
-                let (r, stats) = sweep::run_with(&engine, &sweep::SweepConfig::full(), SEED);
+                let mut config = sweep::SweepConfig::full();
+                if let Some(secs) = sweep_secs {
+                    config.secs = secs;
+                }
+                let (r, stats) = sweep::run_with(&engine, &config, SEED);
                 r.save().expect("save sweep");
                 println!("{r}");
                 print_stats(&stats);
+                cells_failed += stats.failed;
             }
             "deadline" => {
                 let r = deadline_exp::run();
@@ -275,6 +321,7 @@ fn main() {
                 r.save().expect("save govil");
                 println!("{r}");
                 print_stats(&stats);
+                cells_failed += stats.failed;
             }
             "elastic" => {
                 let r = elastic::run(SEED);
@@ -305,5 +352,12 @@ fn main() {
             }
         }
         println!("    ({:.2}s)\n", t0.elapsed().as_secs_f64());
+    }
+    if cells_failed > 0 {
+        eprintln!(
+            "{cells_failed} cell(s) produced no result; completed cells are \
+             cached — re-run with --resume to retry the failures"
+        );
+        std::process::exit(1);
     }
 }

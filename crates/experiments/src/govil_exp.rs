@@ -99,8 +99,13 @@ pub fn run_with(eng: &Engine, seed: u64) -> (GovilExp, BatchStats) {
         }
     }
     let outcome = eng.run_batch("govil", &specs);
+    let stats = outcome.stats;
+    // Every row is a ratio against its baseline: the grid is only
+    // meaningful whole, so any failure aborts (completed cells are
+    // cached; a re-run is cheap).
+    let results = outcome.expect_all();
 
-    let mut results = outcome.results.iter();
+    let mut results = results.iter();
     let mut cells = Vec::new();
     for &b in &benchmarks {
         let baseline = results.next().expect("baseline result").energy_j;
@@ -115,7 +120,7 @@ pub fn run_with(eng: &Engine, seed: u64) -> (GovilExp, BatchStats) {
             });
         }
     }
-    (GovilExp { cells, secs }, outcome.stats)
+    (GovilExp { cells, secs }, stats)
 }
 
 /// Runs the grid in memory on all cores (no cache, no journal).

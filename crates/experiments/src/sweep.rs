@@ -48,12 +48,16 @@ pub struct SweepCell {
 
 /// The sweep plus per-workload constant-top-speed baselines.
 pub struct Sweep {
-    /// All cells.
+    /// All completed cells.
     pub cells: Vec<SweepCell>,
     /// `(benchmark, energy at constant 206.4 MHz)` baselines.
     pub baselines: Vec<(Benchmark, f64)>,
     /// Seconds simulated per cell.
     pub secs: u64,
+    /// Failure reports for cells that produced no result. A sweep
+    /// degrades cell-by-cell: one bad cell costs one row, not the
+    /// grid. Empty on healthy runs.
+    pub failed: Vec<String>,
 }
 
 /// Parameters of a sweep.
@@ -137,34 +141,49 @@ pub fn run_with(eng: &Engine, config: &SweepConfig, seed: u64) -> (Sweep, BatchS
     let outcome = eng.run_batch("sweep", &specs);
 
     let n_base = config.benchmarks.len();
-    let baselines = config
-        .benchmarks
-        .iter()
-        .zip(&outcome.results)
-        .map(|(&b, r)| (b, r.energy_j))
-        .collect();
+    let mut failed: Vec<String> = Vec::new();
+    let mut baselines: Vec<(Benchmark, f64)> = Vec::new();
+    for (&b, r) in config.benchmarks.iter().zip(&outcome.results) {
+        match r {
+            Ok(r) => baselines.push((b, r.energy_j)),
+            Err(f) => failed.push(format!("baseline for {}: {f}", b.name())),
+        }
+    }
     let mut results = outcome.results[n_base..].iter();
     let mut cells = Vec::with_capacity(specs.len() - n_base);
+    let mut dropped_for_baseline = 0usize;
     for &b in &config.benchmarks {
+        let has_baseline = baselines.iter().any(|(x, _)| *x == b);
         for &n in &config.ns {
             for &up in &config.rules {
                 for &down in &config.rules {
                     for &th in &config.thresholds {
-                        let r = results.next().expect("one result per cell");
-                        cells.push(SweepCell {
-                            benchmark: b,
-                            n,
-                            up,
-                            down,
-                            thresholds: th,
-                            energy_j: r.energy_j,
-                            misses: r.misses as usize,
-                            switches: r.clock_switches,
-                        });
+                        match results.next().expect("one result per cell") {
+                            Ok(r) if has_baseline => cells.push(SweepCell {
+                                benchmark: b,
+                                n,
+                                up,
+                                down,
+                                thresholds: th,
+                                energy_j: r.energy_j,
+                                misses: r.misses as usize,
+                                switches: r.clock_switches,
+                            }),
+                            // Savings are relative to the baseline; a
+                            // cell without one has no row.
+                            Ok(_) => dropped_for_baseline += 1,
+                            Err(f) => failed.push(f.to_string()),
+                        }
                     }
                 }
             }
         }
+    }
+    if dropped_for_baseline > 0 {
+        failed.push(format!(
+            "{dropped_for_baseline} completed cell(s) dropped because their \
+             workload's baseline failed"
+        ));
     }
 
     (
@@ -172,6 +191,7 @@ pub fn run_with(eng: &Engine, config: &SweepConfig, seed: u64) -> (Sweep, BatchS
             cells,
             baselines,
             secs: config.secs,
+            failed,
         },
         outcome.stats,
     )
@@ -205,9 +225,11 @@ impl Sweep {
             .min_by(|a, c| a.energy_j.total_cmp(&c.energy_j))
     }
 
-    /// Writes all cells as CSV.
-    pub fn save(&self) -> std::io::Result<()> {
-        let doc = report::csv_doc(
+    /// All cells as one CSV document — what [`save`](Self::save)
+    /// writes. Public so tests can compare sweeps byte-for-byte
+    /// without touching the results directory.
+    pub fn csv(&self) -> String {
+        report::csv_doc(
             &[
                 "benchmark",
                 "n",
@@ -238,8 +260,12 @@ impl Sweep {
                     ]
                 })
                 .collect::<Vec<_>>(),
-        );
-        report::save_csv("sweep", "policy_sweep", &doc).map(|_| ())
+        )
+    }
+
+    /// Writes all cells as CSV.
+    pub fn save(&self) -> std::io::Result<()> {
+        report::save_csv("sweep", "policy_sweep", &self.csv()).map(|_| ())
     }
 }
 
@@ -274,7 +300,18 @@ impl fmt::Display for Sweep {
         f.write_str(&report::render_table(
             &["workload", "constant-top energy", "best zero-miss policy"],
             &rows,
-        ))
+        ))?;
+        if !self.failed.is_empty() {
+            writeln!(
+                f,
+                "WARNING: {} cell(s) produced no result:",
+                self.failed.len()
+            )?;
+            for msg in &self.failed {
+                writeln!(f, "  {msg}")?;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -80,9 +80,8 @@ fn warm_cache_run_simulates_nothing_and_matches_cold() {
     let engine = Engine::new(EngineConfig {
         jobs: 4,
         use_cache: true,
-        resume: false,
         state_root: Some(root.clone()),
-        progress: false,
+        ..EngineConfig::hermetic()
     });
 
     let (cold, cold_stats) = sweep::run_with(&engine, &config, 7);
