@@ -54,7 +54,7 @@ fn bench_warm_cache(c: &mut Criterion) {
     });
     // Prime the cache once; every timed iteration is then a pure
     // cache read of the full grid.
-    let (_, stats) = sweep::run_with(&eng, &config, 1);
+    let (_, stats, _) = sweep::run_with(&eng, &config, 1);
     assert_eq!(stats.cache_hits, 0);
 
     let cells = sweep::specs(&config, 1).len() as u64;
@@ -62,7 +62,7 @@ fn bench_warm_cache(c: &mut Criterion) {
     g.throughput(Throughput::Elements(cells));
     g.bench_function("warm_cache", |b| {
         b.iter(|| {
-            let (sweep, stats) = sweep::run_with(&eng, &config, 1);
+            let (sweep, stats, _) = sweep::run_with(&eng, &config, 1);
             assert_eq!(stats.executed, 0, "warm iterations must not simulate");
             black_box(sweep)
         })

@@ -288,6 +288,7 @@ mod tests {
             final_step: 5,
             frames_shown: 6,
             frames_dropped: 7,
+            sched_dropped: 8,
         }
     }
 

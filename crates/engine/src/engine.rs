@@ -36,6 +36,7 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Injector, Steal};
+use obs::{PolicyMetrics, RunMetrics, WorkerMetrics};
 
 use crate::cache::{CacheProbe, ResultCache};
 use crate::fault::{FaultInjector, FaultPlan, FaultStats};
@@ -64,6 +65,10 @@ pub struct EngineConfig {
     /// Deterministic fault plan to run the batch under; `None` (the
     /// default everywhere outside chaos tests) injects nothing.
     pub faults: Option<FaultPlan>,
+    /// Write the batch's [`RunMetrics`] as `metrics.json` under
+    /// `<state_root>/<batch>/`. Off by default (hermetic tests leave no
+    /// files behind); the `repro` binary turns it on.
+    pub write_metrics: bool,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +81,7 @@ impl Default for EngineConfig {
             progress: false,
             max_retries: 2,
             faults: None,
+            write_metrics: false,
         }
     }
 }
@@ -92,6 +98,7 @@ impl EngineConfig {
             progress: false,
             max_retries: 2,
             faults: None,
+            write_metrics: false,
         }
     }
 
@@ -174,6 +181,9 @@ pub struct BatchOutcome {
     /// Faults the configured plan actually injected (all zero when
     /// running without a plan).
     pub faults: FaultStats,
+    /// Aggregated observability metrics for the batch (also written as
+    /// `metrics.json` when [`EngineConfig::write_metrics`] is set).
+    pub metrics: RunMetrics,
 }
 
 impl BatchOutcome {
@@ -297,17 +307,21 @@ impl Engine {
                 Some(c) => match c.probe(spec, &faults) {
                     CacheProbe::Hit(r) => {
                         cache_hits += 1;
+                        obs::debug!("engine: cache_hit key={}", spec.key());
                         Some(r)
                     }
                     CacheProbe::Quarantined => {
                         quarantined += 1;
-                        eprintln!(
-                            "engine: quarantined damaged cache entry for {} (recomputing)",
+                        obs::warn!(
+                            "engine: cache_quarantine key={} action=recompute",
                             spec.key()
                         );
                         None
                     }
-                    CacheProbe::Miss => None,
+                    CacheProbe::Miss => {
+                        obs::debug!("engine: cache_miss key={}", spec.key());
+                        None
+                    }
                 },
                 None => None,
             });
@@ -324,7 +338,7 @@ impl Engine {
         let mut journal = match Journal::open(&state_dir, batch) {
             Ok(j) => Some(j),
             Err(e) => {
-                eprintln!("engine: journal disabled for `{batch}`: {e}");
+                obs::warn!("engine: journal disabled for `{batch}`: {e}");
                 None
             }
         };
@@ -332,6 +346,7 @@ impl Engine {
         // Layer 3: simulate the rest on the worker pool.
         let workers = self.worker_count().min(pending.len());
         let max_retries = self.config.max_retries;
+        let mut worker_totals = WorkerMetrics::new();
         if !pending.is_empty() {
             let queue = Injector::new();
             let to_run = pending.len();
@@ -345,39 +360,70 @@ impl Engine {
                     let tx = tx.clone();
                     let queue = &queue;
                     let faults = &faults;
-                    handles.push(s.spawn(move |_| loop {
-                        match queue.steal() {
-                            Steal::Success((i, spec)) => {
-                                let key = spec.key();
-                                let mut attempt = 0u32;
-                                let outcome = loop {
-                                    attempt += 1;
-                                    let run = std::panic::catch_unwind(
-                                        std::panic::AssertUnwindSafe(|| {
-                                            if faults.worker_panic(key, attempt) {
-                                                panic!(
-                                                    "injected fault: worker panic \
-                                                     (job {key}, attempt {attempt})"
+                    // Each worker owns its metrics and hands them back
+                    // through the join handle — no shared mutation, so
+                    // the aggregate is independent of scheduling.
+                    handles.push(s.spawn(move |_| {
+                        let mut wm = WorkerMetrics::new();
+                        loop {
+                            match queue.steal() {
+                                Steal::Success((i, spec)) => {
+                                    let key = spec.key();
+                                    let mut attempt = 0u32;
+                                    let outcome = loop {
+                                        attempt += 1;
+                                        obs::debug!(
+                                            "engine: job_start key={key} attempt={attempt}"
+                                        );
+                                        let run = std::panic::catch_unwind(
+                                            std::panic::AssertUnwindSafe(|| {
+                                                if faults.worker_panic(key, attempt) {
+                                                    panic!(
+                                                        "injected fault: worker panic \
+                                                         (job {key}, attempt {attempt})"
+                                                    );
+                                                }
+                                                spec.execute()
+                                            }),
+                                        );
+                                        match run {
+                                            Ok(r) => break Ok(r),
+                                            Err(payload) if attempt > max_retries => {
+                                                break Err(panic_message(payload.as_ref()))
+                                            }
+                                            Err(_) => {
+                                                wm.inc("retries");
+                                                obs::debug!(
+                                                    "engine: job_retry key={key} \
+                                                     attempt={attempt}"
                                                 );
                                             }
-                                            spec.execute()
-                                        }),
-                                    );
-                                    match run {
-                                        Ok(r) => break Ok(r),
-                                        Err(payload) if attempt > max_retries => {
-                                            break Err(panic_message(payload.as_ref()))
                                         }
-                                        Err(_) => {} // retry
+                                    };
+                                    match &outcome {
+                                        Ok(r) => {
+                                            wm.inc("jobs_executed");
+                                            wm.add("sim_us", spec.duration.as_micros());
+                                            wm.observe("utilization", r.mean_utilization);
+                                            obs::debug!(
+                                                "engine: job_done key={key} attempts={attempt}"
+                                            );
+                                        }
+                                        Err(_) => {
+                                            obs::debug!(
+                                                "engine: job_fail key={key} attempts={attempt}"
+                                            );
+                                        }
                                     }
-                                };
-                                if tx.send((i, attempt, outcome)).is_err() {
-                                    break;
+                                    if tx.send((i, attempt, outcome)).is_err() {
+                                        break;
+                                    }
                                 }
+                                Steal::Empty => break,
+                                Steal::Retry => continue,
                             }
-                            Steal::Empty => break,
-                            Steal::Retry => continue,
                         }
+                        wm
                     }));
                 }
                 drop(tx);
@@ -391,12 +437,15 @@ impl Engine {
                         Ok(result) => {
                             if let Some(cache) = &cache {
                                 if let Err(e) = cache.store_with(spec, &result, &faults) {
-                                    eprintln!("engine: cache write failed for {}: {e}", spec.key());
+                                    obs::warn!(
+                                        "engine: cache write failed for {}: {e}",
+                                        spec.key()
+                                    );
                                 }
                             }
                             if let Some(j) = &mut journal {
                                 if let Err(e) = j.record_with(spec.key(), &result, &faults) {
-                                    eprintln!("engine: journal write failed: {e}");
+                                    obs::warn!("engine: journal write failed: {e}");
                                 }
                             }
                             slots[i] = Some(Ok(result));
@@ -409,7 +458,7 @@ impl Engine {
                                 attempts,
                                 message,
                             };
-                            eprintln!("engine: {failure}");
+                            obs::error!("engine: {failure}");
                             slots[i] = Some(Err(failure));
                         }
                     }
@@ -420,7 +469,7 @@ impl Engine {
                         last_report = Instant::now();
                         let rate = done as f64 / started.elapsed().as_secs_f64().max(1e-9);
                         let eta = (to_run - done) as f64 / rate.max(1e-9);
-                        eprintln!(
+                        obs::info!(
                             "[{batch}] {done}/{to_run} simulated \
                              ({skipped} reused) — {rate:.1} cells/s, ETA {eta:.0}s",
                             skipped = journal_hits + cache_hits,
@@ -431,24 +480,32 @@ impl Engine {
                 // Per-worker error status: a worker that died outside
                 // the catch-unwind fence (an engine bug, not a job
                 // panic) is reported instead of aborting the process.
+                // Survivors hand back their metrics for merging.
                 let mut dead_workers = 0usize;
+                let mut merged = WorkerMetrics::new();
                 for h in handles {
-                    if let Err(payload) = h.join() {
-                        dead_workers += 1;
-                        eprintln!(
-                            "engine: worker thread died: {}",
-                            panic_message(payload.as_ref())
-                        );
+                    match h.join() {
+                        Ok(wm) => merged.merge_from(&wm),
+                        Err(payload) => {
+                            dead_workers += 1;
+                            obs::error!(
+                                "engine: worker thread died: {}",
+                                panic_message(payload.as_ref())
+                            );
+                        }
                     }
                 }
-                dead_workers
+                (dead_workers, merged)
             });
             let dead_workers = match scope_outcome {
-                Ok(n) => n,
+                Ok((n, merged)) => {
+                    worker_totals = merged;
+                    n
+                }
                 Err(payload) => {
                     // Unreachable with joined handles, but never abort
                     // the batch over it.
-                    eprintln!(
+                    obs::error!(
                         "engine: worker scope failed: {}",
                         panic_message(payload.as_ref())
                     );
@@ -481,13 +538,13 @@ impl Engine {
         if let Some(j) = journal.take() {
             if failed == 0 {
                 if let Err(e) = j.finish() {
-                    eprintln!("engine: could not clear journal for `{batch}`: {e}");
+                    obs::warn!("engine: could not clear journal for `{batch}`: {e}");
                 }
             } else {
                 // Keep the journal: it holds every completed cell, so
                 // a `--resume` re-run retries only the failures.
                 drop(j);
-                eprintln!(
+                obs::warn!(
                     "engine: keeping journal for `{batch}` ({failed} failed job(s)); \
                      re-run with --resume to retry them"
                 );
@@ -505,7 +562,7 @@ impl Engine {
             elapsed_us: started.elapsed().as_micros() as u64,
         };
         if self.config.progress {
-            eprintln!(
+            obs::info!(
                 "[{batch}] {} cells in {:.1}s: {} simulated on {} worker(s), \
                  {} cache hit(s), {} journal hit(s)",
                 stats.total,
@@ -517,7 +574,7 @@ impl Engine {
             );
             if faults.is_active() {
                 let fs = faults.stats();
-                eprintln!(
+                obs::info!(
                     "[{batch}] faults injected under plan `{}`: {} total \
                      ({} read err, {} corrupt, {} truncate, {} write err, {} torn, {} panic)",
                     faults.plan(),
@@ -531,11 +588,77 @@ impl Engine {
                 );
             }
         }
+
+        let metrics = self.build_metrics(batch, specs, &results, &stats, &worker_totals);
+        if self.config.write_metrics {
+            let dir = root.join(batch);
+            let write = std::fs::create_dir_all(&dir)
+                .and_then(|()| std::fs::write(dir.join("metrics.json"), metrics.to_json()));
+            if let Err(e) = write {
+                obs::warn!("engine: could not write metrics.json for `{batch}`: {e}");
+            }
+        }
+
         BatchOutcome {
             results,
             stats,
             faults: faults.stats(),
+            metrics,
         }
+    }
+
+    /// Folds batch stats, worker-pool counters and per-result totals
+    /// into one [`RunMetrics`]. Cached and journaled results count
+    /// toward the per-policy aggregates — the metrics describe the
+    /// batch's *data*, not just what was simulated this run.
+    fn build_metrics(
+        &self,
+        batch: &str,
+        specs: &[JobSpec],
+        results: &[Result<JobResult, JobFailure>],
+        stats: &BatchStats,
+        worker_totals: &WorkerMetrics,
+    ) -> RunMetrics {
+        let mut sched_dropped = 0u64;
+        let mut clock_switches = 0u64;
+        let mut voltage_switches = 0u64;
+        let mut per_policy: std::collections::BTreeMap<String, PolicyMetrics> =
+            std::collections::BTreeMap::new();
+        for (spec, result) in specs.iter().zip(results) {
+            let Ok(r) = result else { continue };
+            sched_dropped += r.sched_dropped;
+            clock_switches += r.clock_switches;
+            voltage_switches += r.voltage_switches;
+            let entry = per_policy
+                .entry(spec.policy.label())
+                .or_insert_with(|| PolicyMetrics {
+                    policy: spec.policy.label(),
+                    ..Default::default()
+                });
+            entry.cells += 1;
+            entry.clock_switches += r.clock_switches;
+            entry.voltage_switches += r.voltage_switches;
+        }
+        let mut metrics = RunMetrics {
+            batch: batch.to_string(),
+            total: stats.total as u64,
+            executed: stats.executed as u64,
+            cache_hits: stats.cache_hits as u64,
+            journal_hits: stats.journal_hits as u64,
+            failed: stats.failed as u64,
+            quarantined: stats.quarantined as u64,
+            retries: worker_totals.counter("retries"),
+            workers: stats.workers as u64,
+            sched_dropped,
+            clock_switches,
+            voltage_switches,
+            wall_us: stats.elapsed_us,
+            sim_us: worker_totals.counter("sim_us"),
+            per_policy: per_policy.into_values().collect(),
+            ..Default::default()
+        };
+        metrics.finalize();
+        metrics
     }
 }
 
@@ -735,6 +858,63 @@ mod tests {
         assert_eq!(resumed.stats.failed, 0);
         assert_eq!(resumed.results, clean.results);
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn metrics_track_cache_hits_across_cold_and_warm_runs() {
+        let root = temp_root("metrics");
+        let config = EngineConfig {
+            jobs: 2,
+            use_cache: true,
+            state_root: Some(root.clone()),
+            write_metrics: true,
+            ..EngineConfig::hermetic()
+        };
+        let specs = grid();
+        let cold = Engine::new(config.clone()).run_batch("t", &specs);
+        assert_eq!(cold.metrics.executed, specs.len() as u64);
+        assert_eq!(cold.metrics.cache_hits, 0);
+        assert_eq!(cold.metrics.cache_hit_rate, 0.0);
+        assert!(cold.metrics.sim_us > 0, "simulated time was accounted");
+        // Per-policy buckets cover every cell exactly once.
+        let cells: u64 = cold.metrics.per_policy.iter().map(|p| p.cells).sum();
+        assert_eq!(cells, specs.len() as u64);
+
+        let warm = Engine::new(config).run_batch("t", &specs);
+        assert_eq!(warm.metrics.executed, 0);
+        assert_eq!(warm.metrics.cache_hits, specs.len() as u64);
+        assert_eq!(warm.metrics.cache_hit_rate, 1.0);
+        // Cached results still contribute to the data-level aggregates.
+        assert_eq!(warm.metrics.clock_switches, cold.metrics.clock_switches);
+        assert_eq!(warm.metrics.per_policy, cold.metrics.per_policy);
+
+        // write_metrics left the rollup on disk, reflecting the warm run.
+        let json = std::fs::read_to_string(root.join("t").join("metrics.json"))
+            .expect("metrics.json written");
+        assert!(json.contains("\"cache_hits\": 4"), "{json}");
+        assert!(json.contains("\"executed\": 0"), "{json}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn metrics_count_retries_from_injected_panics() {
+        let specs = grid();
+        let chaotic = Engine::new(EngineConfig {
+            jobs: 4,
+            faults: Some(FaultPlan {
+                panic: 1.0,
+                max_panics: 2,
+                ..FaultPlan::default()
+            }),
+            ..EngineConfig::hermetic()
+        })
+        .run_batch("t", &specs);
+        assert_eq!(chaotic.stats.failed, 0);
+        assert_eq!(
+            chaotic.metrics.retries,
+            2 * specs.len() as u64,
+            "two injected panics per cell = two retries per cell"
+        );
     }
 
     #[test]

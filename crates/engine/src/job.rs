@@ -11,7 +11,9 @@ use itsy_hw::{ClockTable, DeviceSet, StepIndex};
 use kernel_sim::{Kernel, KernelConfig, Machine};
 use policies::PolicyDesc;
 use sim_core::SimDuration;
-use workloads::{web::Browser, Benchmark, JavaPoller, MpegConfig, MpegWorkload, WebWorkload};
+use workloads::{
+    web::Browser, Benchmark, JavaPoller, MpegConfig, MpegWorkload, SquareWave, WebWorkload,
+};
 
 use crate::key::ContentKey;
 
@@ -28,6 +30,15 @@ pub enum WorkloadSpec {
     },
     /// MPEG with the frame-dropping (elastic) player.
     MpegElastic,
+    /// The §5.3 idealized rectangle wave: busy for `busy` quanta, idle
+    /// for `idle`, repeating — the load under which AVG_N provably
+    /// cannot settle.
+    SquareWave {
+        /// Busy quanta per period.
+        busy: u64,
+        /// Idle quanta per period.
+        idle: u64,
+    },
 }
 
 impl WorkloadSpec {
@@ -37,6 +48,7 @@ impl WorkloadSpec {
             WorkloadSpec::Benchmark(b) => b.devices(),
             WorkloadSpec::WebBrowse { .. } => DeviceSet::LCD,
             WorkloadSpec::MpegElastic => DeviceSet::AV,
+            WorkloadSpec::SquareWave { .. } => DeviceSet::NONE,
         }
     }
 
@@ -59,6 +71,9 @@ impl WorkloadSpec {
                     kernel.spawn(t);
                 }
             }
+            WorkloadSpec::SquareWave { busy, idle } => {
+                kernel.spawn(Box::new(SquareWave::quanta(*busy, *idle)));
+            }
         }
     }
 
@@ -68,6 +83,7 @@ impl WorkloadSpec {
             WorkloadSpec::Benchmark(b) => format!("bench:{}", b.name()),
             WorkloadSpec::WebBrowse { poller } => format!("web_browse:poller={poller}"),
             WorkloadSpec::MpegElastic => "mpeg_elastic".to_string(),
+            WorkloadSpec::SquareWave { busy, idle } => format!("square:busy={busy},idle={idle}"),
         }
     }
 
@@ -78,6 +94,7 @@ impl WorkloadSpec {
             WorkloadSpec::WebBrowse { poller: true } => "Web+poller".to_string(),
             WorkloadSpec::WebBrowse { poller: false } => "Web-poller".to_string(),
             WorkloadSpec::MpegElastic => "MPEG-elastic".to_string(),
+            WorkloadSpec::SquareWave { busy, idle } => format!("Square {busy}/{idle}"),
         }
     }
 }
@@ -158,8 +175,21 @@ impl JobSpec {
 
     /// Runs the simulation synchronously and summarizes it.
     pub fn execute(&self) -> JobResult {
+        self.simulate(false).0
+    }
+
+    /// Runs the simulation with event tracing on and returns both the
+    /// summary and the run's [`obs::Trace`]. Used by `repro trace`;
+    /// always simulates fresh (the trace is not cached), which is what
+    /// makes exports identical across cold and warm caches.
+    pub fn execute_traced(&self) -> (JobResult, obs::Trace) {
+        self.simulate(true)
+    }
+
+    fn simulate(&self, trace: bool) -> (JobResult, obs::Trace) {
         let mut config = KernelConfig {
             duration: self.duration,
+            trace,
             ..KernelConfig::default()
         };
         if let Some(q) = self.quantum {
@@ -183,7 +213,7 @@ impl JobSpec {
             .iter()
             .filter(|d| d.label == "frame_dropped")
             .count() as u64;
-        JobResult {
+        let result = JobResult {
             energy_j: report.energy.as_joules(),
             core_energy_j: report.core_energy.as_joules(),
             mean_freq_mhz: report.freq_mhz.mean().unwrap_or(0.0),
@@ -195,13 +225,18 @@ impl JobSpec {
             final_step: report.final_step as u64,
             frames_shown,
             frames_dropped,
-        }
+            sched_dropped: report.sched_log.dropped(),
+        };
+        (result, report.trace)
     }
 }
 
 /// Bump to invalidate every cached result when simulator semantics
 /// change (see [`JobSpec::canonical`]).
-pub const SIM_VERSION: u32 = 1;
+///
+/// v2: [`JobResult`] gained `sched_dropped`, changing the cache entry
+/// payload format.
+pub const SIM_VERSION: u32 = 2;
 
 /// The summarized outcome of one run — everything the experiment
 /// harnesses consume, in cache-friendly plain-number form.
@@ -229,6 +264,9 @@ pub struct JobResult {
     pub frames_shown: u64,
     /// Frames dropped (elastic MPEG player; 0 otherwise).
     pub frames_dropped: u64,
+    /// Scheduler-log records dropped to the log's capacity bound
+    /// (0 when the log is unbounded or disabled).
+    pub sched_dropped: u64,
 }
 
 impl JobResult {
@@ -240,7 +278,8 @@ impl JobResult {
         format!(
             "energy_j={:016x};core_energy_j={:016x};mean_freq_mhz={:016x};\
              mean_utilization={:016x};misses={};max_lateness_us={};clock_switches={};\
-             voltage_switches={};final_step={};frames_shown={};frames_dropped={}",
+             voltage_switches={};final_step={};frames_shown={};frames_dropped={};\
+             sched_dropped={}",
             self.energy_j.to_bits(),
             self.core_energy_j.to_bits(),
             self.mean_freq_mhz.to_bits(),
@@ -252,6 +291,7 @@ impl JobResult {
             self.final_step,
             self.frames_shown,
             self.frames_dropped,
+            self.sched_dropped,
         )
     }
 
@@ -281,6 +321,7 @@ impl JobResult {
             final_step: u64_field("final_step")?,
             frames_shown: u64_field("frames_shown")?,
             frames_dropped: u64_field("frames_dropped")?,
+            sched_dropped: u64_field("sched_dropped")?,
         })
     }
 }
@@ -335,6 +376,7 @@ mod tests {
             final_step: 10,
             frames_shown: 300,
             frames_dropped: 1,
+            sched_dropped: 9,
         };
         let decoded = JobResult::decode(&r.encode()).expect("decodes");
         assert_eq!(r, decoded);

@@ -162,6 +162,7 @@ mod tests {
             final_step: 0,
             frames_shown: 0,
             frames_dropped: 0,
+            sched_dropped: 0,
         }
     }
 

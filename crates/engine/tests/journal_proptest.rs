@@ -50,6 +50,7 @@ fn result_from(seed: u64) -> JobResult {
         final_step: u(9),
         frames_shown: u(10),
         frames_dropped: u(11),
+        sched_dropped: u(12),
     }
 }
 

@@ -1,16 +1,30 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--seed N] [--jobs N] [--resume] [--no-cache]
-//!       [--sweep-secs N] [--fault-plan SPEC]
+//! repro [--seed N] [--jobs N] [--resume] [--no-cache] [--quiet | -v]
+//!       [--sweep-secs N] [--trace-secs N] [--fault-plan SPEC]
 //!       [all | fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!        table1 table2 table3 battery sa2 cost
 //!        sweep sweep-full deadline ablation govil elastic
-//!        tracedriven timescale summary oracle memprobe modern spectrum]
+//!        tracedriven timescale summary oracle memprobe modern spectrum
+//!        trace]
 //! ```
 //!
 //! Results are printed (tables + ASCII charts) and saved as CSV under
 //! `results/` (override with `REPRO_RESULTS_DIR`).
+//!
+//! Observability:
+//!
+//! - `--quiet` silences engine chatter on stderr (errors still print);
+//!   `-v` turns on per-job debug records.
+//! - engine-backed experiments write a `metrics.json` rollup next to
+//!   their results and print a one-line summary.
+//! - `trace` exports the structured event stream of the paper's key
+//!   scenarios (`fig3`, `fig8`, `avgn`) as CSV and Chrome
+//!   `trace_event` JSON under `results/trace/`. The bytes are a pure
+//!   function of `--seed`: independent of `--jobs`, cache state, and
+//!   wall-clock. `--trace-secs N` shortens each traced run for smoke
+//!   tests.
 //!
 //! The grid experiments (`sweep`, `sweep-full`, `govil`, `ablation`)
 //! run on the execution engine:
@@ -73,6 +87,10 @@ fn print_stats(stats: &BatchStats) {
     println!("{line}");
 }
 
+fn print_metrics(metrics: &obs::RunMetrics) {
+    println!("    {}", metrics.summary_line());
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let seed: u64 = take_value_flag(&mut args, "--seed")
@@ -97,6 +115,17 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let trace_secs: Option<u64> = take_value_flag(&mut args, "--trace-secs").map(|v| {
+        v.parse().unwrap_or_else(|e| {
+            eprintln!("bad --trace-secs value: {e}");
+            std::process::exit(2);
+        })
+    });
+    if take_bool_flag(&mut args, "--quiet") {
+        obs::set_verbosity(obs::Level::Error);
+    } else if take_bool_flag(&mut args, "-v") {
+        obs::set_verbosity(obs::Level::Debug);
+    }
     let faults: Option<FaultPlan> = take_value_flag(&mut args, "--fault-plan").map(|v| {
         let parsed = match v.strip_prefix("chaos:") {
             Some(seed) => seed
@@ -116,6 +145,7 @@ fn main() {
         resume: take_bool_flag(&mut args, "--resume"),
         faults,
         progress: true,
+        write_metrics: true,
         ..EngineConfig::default()
     });
     let mut cells_failed = 0usize;
@@ -259,10 +289,11 @@ fn main() {
                 if let Some(secs) = sweep_secs {
                     config.secs = secs;
                 }
-                let (r, stats) = sweep::run_with(&engine, &config, SEED);
+                let (r, stats, metrics) = sweep::run_with(&engine, &config, SEED);
                 r.save().expect("save sweep");
                 println!("{r}");
                 print_stats(&stats);
+                print_metrics(&metrics);
                 cells_failed += stats.failed;
             }
             "sweep-full" => {
@@ -270,10 +301,11 @@ fn main() {
                 if let Some(secs) = sweep_secs {
                     config.secs = secs;
                 }
-                let (r, stats) = sweep::run_with(&engine, &config, SEED);
+                let (r, stats, metrics) = sweep::run_with(&engine, &config, SEED);
                 r.save().expect("save sweep");
                 println!("{r}");
                 print_stats(&stats);
+                print_metrics(&metrics);
                 cells_failed += stats.failed;
             }
             "deadline" => {
@@ -317,10 +349,11 @@ fn main() {
                 println!("{r}");
             }
             "govil" => {
-                let (r, stats) = govil_exp::run_with(&engine, SEED);
+                let (r, stats, metrics) = govil_exp::run_with(&engine, SEED);
                 r.save().expect("save govil");
                 println!("{r}");
                 print_stats(&stats);
+                print_metrics(&metrics);
                 cells_failed += stats.failed;
             }
             "elastic" => {
@@ -345,6 +378,20 @@ fn main() {
                     "  with poller   : {} switches, {:.1} MHz mean, {:.1} J\n",
                     with.switches, with.mean_mhz, with.energy_j
                 );
+            }
+            "trace" => {
+                for scenario in trace_exp::SCENARIOS {
+                    let out = trace_exp::export(scenario, SEED, trace_secs)
+                        .expect("known trace scenario");
+                    let (csv, json) = out.save().expect("save trace");
+                    println!(
+                        "    {scenario}: {} events from {} run(s) -> {}, {}",
+                        out.events,
+                        out.runs,
+                        csv.display(),
+                        json.display()
+                    );
+                }
             }
             other => {
                 eprintln!("unknown experiment: {other}");

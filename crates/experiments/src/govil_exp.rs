@@ -10,6 +10,7 @@
 use core::fmt;
 
 use engine::{BatchStats, Engine, EngineConfig, JobSpec, WorkloadSpec};
+use obs::RunMetrics;
 use policies::{
     AgedAverage, AvgN, Cycle, Flat, Hysteresis, LongShort, Past, Pattern, Peak, PolicyDesc,
     Predictor, PredictorDesc, SpeedChange,
@@ -77,7 +78,7 @@ pub fn predictor_descs() -> Vec<PredictorDesc> {
 
 /// Runs the grid on an explicit engine: every predictor, peg-peg at
 /// the paper's best thresholds, on MPEG and Web.
-pub fn run_with(eng: &Engine, seed: u64) -> (GovilExp, BatchStats) {
+pub fn run_with(eng: &Engine, seed: u64) -> (GovilExp, BatchStats, RunMetrics) {
     let secs = 20;
     let benchmarks = [Benchmark::Mpeg, Benchmark::Web];
     let preds = predictor_descs();
@@ -100,6 +101,7 @@ pub fn run_with(eng: &Engine, seed: u64) -> (GovilExp, BatchStats) {
     }
     let outcome = eng.run_batch("govil", &specs);
     let stats = outcome.stats;
+    let metrics = outcome.metrics.clone();
     // Every row is a ratio against its baseline: the grid is only
     // meaningful whole, so any failure aborts (completed cells are
     // cached; a re-run is cheap).
@@ -120,7 +122,7 @@ pub fn run_with(eng: &Engine, seed: u64) -> (GovilExp, BatchStats) {
             });
         }
     }
-    (GovilExp { cells, secs }, stats)
+    (GovilExp { cells, secs }, stats, metrics)
 }
 
 /// Runs the grid in memory on all cores (no cache, no journal).

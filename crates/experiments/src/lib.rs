@@ -38,6 +38,7 @@
 //! | `memprobe` | lmbench-style validation of Table 3 through the execution path |
 //! | `modern` | the paper's policy vs Linux cpufreq ondemand/conservative |
 //! | `spectrum` | measured MPEG utilization spectrum: frame lines vs AVG_N |
+//! | `trace` | deterministic structured-event export (CSV + Chrome JSON) |
 
 pub mod ablation;
 pub mod battery_exp;
@@ -66,6 +67,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod timescale;
+pub mod trace_exp;
 pub mod tracedriven;
 
 pub use runner::{measure_energy, run_benchmark, RunSpec};

@@ -20,6 +20,7 @@
 use core::fmt;
 
 use engine::{BatchStats, Engine, EngineConfig, JobSpec, WorkloadSpec};
+use obs::RunMetrics;
 use policies::{Hysteresis, PolicyDesc, PredictorDesc, SpeedChange};
 use workloads::Benchmark;
 
@@ -136,7 +137,7 @@ pub fn specs(config: &SweepConfig, seed: u64) -> Vec<JobSpec> {
 
 /// Runs the sweep on an explicit engine (the `repro` binary passes one
 /// configured from `--jobs` / `--resume` / `--no-cache`).
-pub fn run_with(eng: &Engine, config: &SweepConfig, seed: u64) -> (Sweep, BatchStats) {
+pub fn run_with(eng: &Engine, config: &SweepConfig, seed: u64) -> (Sweep, BatchStats, RunMetrics) {
     let specs = specs(config, seed);
     let outcome = eng.run_batch("sweep", &specs);
 
@@ -194,6 +195,7 @@ pub fn run_with(eng: &Engine, config: &SweepConfig, seed: u64) -> (Sweep, BatchS
             failed,
         },
         outcome.stats,
+        outcome.metrics,
     )
 }
 

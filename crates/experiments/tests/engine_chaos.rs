@@ -37,7 +37,7 @@ fn temp_root(tag: &str) -> std::path::PathBuf {
 
 /// The fault-free answer the chaotic runs must reproduce exactly.
 fn reference_csv() -> String {
-    let (s, stats) = sweep::run_with(&Engine::new(EngineConfig::hermetic()), &grid(), 1);
+    let (s, stats, _) = sweep::run_with(&Engine::new(EngineConfig::hermetic()), &grid(), 1);
     assert_eq!(stats.failed, 0);
     assert!(s.failed.is_empty());
     s.csv()
@@ -56,7 +56,7 @@ fn chaos_plans_never_change_the_csv() {
             ..EngineConfig::hermetic()
         };
         // Cold: write errors, torn journal writes and panics fire.
-        let (cold, cold_stats) = sweep::run_with(&Engine::new(config.clone()), &grid(), 1);
+        let (cold, cold_stats, _) = sweep::run_with(&Engine::new(config.clone()), &grid(), 1);
         assert_eq!(
             cold_stats.failed, 0,
             "plan {plan_seed}: retries must absorb panics"
@@ -69,7 +69,7 @@ fn chaos_plans_never_change_the_csv() {
         );
         // Warm: read errors, corruption and truncation now hit the
         // entries the cold run managed to store.
-        let (warm, warm_stats) = sweep::run_with(&Engine::new(config), &grid(), 1);
+        let (warm, warm_stats, _) = sweep::run_with(&Engine::new(config), &grid(), 1);
         assert_eq!(warm_stats.failed, 0);
         assert_eq!(
             warm.csv(),
@@ -124,7 +124,7 @@ fn corrupted_cache_entries_are_quarantined_and_recomputed() {
         state_root: Some(root.clone()),
         ..EngineConfig::hermetic()
     };
-    let (cold, cold_stats) = sweep::run_with(&Engine::new(config.clone()), &grid(), 1);
+    let (cold, cold_stats, _) = sweep::run_with(&Engine::new(config.clone()), &grid(), 1);
     assert_eq!(cold_stats.executed, cold_stats.total);
 
     // Flip one byte in every stored entry — real on-disk damage, not
@@ -149,7 +149,7 @@ fn corrupted_cache_entries_are_quarantined_and_recomputed() {
 
     // Warm run: every probe sees a damaged entry → quarantine and
     // recompute, never serve bad bytes, never crash.
-    let (warm, warm_stats) = sweep::run_with(&Engine::new(config.clone()), &grid(), 1);
+    let (warm, warm_stats, _) = sweep::run_with(&Engine::new(config.clone()), &grid(), 1);
     assert_eq!(
         warm_stats.quarantined, damaged,
         "every damaged entry caught"
@@ -163,7 +163,7 @@ fn corrupted_cache_entries_are_quarantined_and_recomputed() {
     );
 
     // Recomputation healed the cache: a third run is pure hits.
-    let (_, healed_stats) = sweep::run_with(&Engine::new(config), &grid(), 1);
+    let (_, healed_stats, _) = sweep::run_with(&Engine::new(config), &grid(), 1);
     assert_eq!(healed_stats.cache_hits, healed_stats.total);
     assert_eq!(healed_stats.quarantined, 0);
     let _ = std::fs::remove_dir_all(&root);
@@ -174,7 +174,7 @@ fn hostile_plan_fails_cells_without_killing_the_sweep() {
     // A plan harsher than the retry budget: cells fail, but run_with
     // still returns, names every casualty, and keeps the survivors.
     let root = temp_root("hostile");
-    let (s, stats) = sweep::run_with(
+    let (s, stats, _) = sweep::run_with(
         &Engine::new(EngineConfig {
             jobs: 4,
             max_retries: 0,

@@ -63,8 +63,8 @@ fn sweep_is_bit_identical_across_worker_counts() {
         jobs: 8,
         ..EngineConfig::hermetic()
     });
-    let (s1, st1) = sweep::run_with(&one, &config, 7);
-    let (s8, st8) = sweep::run_with(&eight, &config, 7);
+    let (s1, st1, _) = sweep::run_with(&one, &config, 7);
+    let (s8, st8, _) = sweep::run_with(&eight, &config, 7);
     assert_eq!(st1.executed, st8.executed, "both runs simulate every cell");
     assert_eq!(
         fingerprint(&s1),
@@ -84,11 +84,11 @@ fn warm_cache_run_simulates_nothing_and_matches_cold() {
         ..EngineConfig::hermetic()
     });
 
-    let (cold, cold_stats) = sweep::run_with(&engine, &config, 7);
+    let (cold, cold_stats, _) = sweep::run_with(&engine, &config, 7);
     assert_eq!(cold_stats.cache_hits, 0, "cold cache has nothing to hit");
     assert_eq!(cold_stats.executed, cold_stats.total);
 
-    let (warm, warm_stats) = sweep::run_with(&engine, &config, 7);
+    let (warm, warm_stats, _) = sweep::run_with(&engine, &config, 7);
     assert_eq!(
         warm_stats.executed, 0,
         "warm run must re-simulate zero cells"
@@ -101,7 +101,7 @@ fn warm_cache_run_simulates_nothing_and_matches_cold() {
     );
 
     // A different seed is a different grid: full miss, no stale reuse.
-    let (_, other_stats) = sweep::run_with(&engine, &config, 8);
+    let (_, other_stats, _) = sweep::run_with(&engine, &config, 8);
     assert_eq!(other_stats.cache_hits, 0, "other seeds must not hit");
 
     let _ = std::fs::remove_dir_all(&root);

@@ -1,0 +1,120 @@
+//! The `repro trace` contract: the exported event stream is a pure
+//! function of (scenario, seed, secs).
+//!
+//! Two properties are pinned:
+//!
+//! 1. **Determinism** — re-running an export, or computing the same
+//!    merge serially instead of on the thread pool, yields identical
+//!    bytes. Wall-clock never enters the stream.
+//! 2. **Stability** — a golden snapshot of the fig3 scenario's first
+//!    events guards against accidental changes to event content,
+//!    ordering or formatting. Regenerate after an intentional change:
+//!
+//!    ```text
+//!    UPDATE_GOLDEN_TRACE=1 cargo test -p experiments --test trace_export
+//!    ```
+
+use experiments::trace_exp;
+use obs::{export_chrome_json, export_csv, merge_traces, Trace};
+
+/// Short windows keep the suite fast; determinism holds at any length.
+const SECS: u64 = 2;
+
+#[test]
+fn export_is_byte_identical_across_runs() {
+    let a = trace_exp::export("fig8", 1, Some(SECS)).expect("known scenario");
+    let b = trace_exp::export("fig8", 1, Some(SECS)).expect("known scenario");
+    assert_eq!(a.csv, b.csv, "CSV must not vary between runs");
+    assert_eq!(a.chrome_json, b.chrome_json, "JSON must not vary");
+    assert!(a.events > 0, "fig8 trace is non-trivial");
+}
+
+#[test]
+fn parallel_and_serial_execution_merge_identically() {
+    // The exporter runs one thread per run; this recomputes the same
+    // traces strictly serially. Identical output proves the merge
+    // orders by simulated time alone — thread scheduling (and hence
+    // `--jobs`) cannot reorder the stream.
+    let parallel = trace_exp::export("fig3", 1, Some(SECS)).expect("known scenario");
+    let serial: Vec<(String, Trace)> = trace_exp::specs("fig3", 1, Some(SECS))
+        .expect("known scenario")
+        .into_iter()
+        .map(|(label, spec)| (label, spec.execute_traced().1))
+        .collect();
+    let merged = merge_traces(&serial);
+    assert_eq!(parallel.csv, export_csv(&merged));
+    assert_eq!(parallel.chrome_json, export_chrome_json(&merged));
+}
+
+#[test]
+fn different_seeds_change_the_stream() {
+    // Sanity check that the export is actually sensitive to its
+    // inputs — a constant output would pass the determinism tests.
+    let a = trace_exp::export("fig8", 1, Some(SECS)).expect("known scenario");
+    let b = trace_exp::export("fig8", 2, Some(SECS)).expect("known scenario");
+    assert_ne!(a.csv, b.csv, "seed must reach the simulation");
+}
+
+#[test]
+fn fig3_trace_matches_committed_golden_snapshot() {
+    // The fixture holds the header plus the first events of the fig3
+    // scenario: enough to catch format/order drift without freezing
+    // megabytes.
+    const LINES: usize = 200;
+    let out = trace_exp::export("fig3", 1, Some(SECS)).expect("known scenario");
+    let actual: String = out
+        .csv
+        .lines()
+        .take(LINES)
+        .fold(String::new(), |mut acc, l| {
+            acc.push_str(l);
+            acc.push('\n');
+            acc
+        });
+    let fixture_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/golden_trace_fig3.csv"
+    );
+
+    if std::env::var_os("UPDATE_GOLDEN_TRACE").is_some() {
+        std::fs::write(fixture_path, &actual).expect("write fixture");
+        return;
+    }
+
+    let expected = std::fs::read_to_string(fixture_path).expect(
+        "missing tests/fixtures/golden_trace_fig3.csv — regenerate with \
+         UPDATE_GOLDEN_TRACE=1 cargo test -p experiments --test trace_export",
+    );
+    for (i, (want, got)) in expected.lines().zip(actual.lines()).enumerate() {
+        assert_eq!(
+            want,
+            got,
+            "\ntrace drift at fixture line {}.\n\
+             The exported stream is a public artifact consumers diff \
+             across runs. If the simulator or event format changed \
+             intentionally, regenerate with UPDATE_GOLDEN_TRACE=1; \
+             otherwise determinism broke — fix that instead.\n",
+            i + 1
+        );
+    }
+    assert_eq!(expected.lines().count(), actual.lines().count());
+}
+
+#[test]
+fn chrome_json_shape_is_wellformed() {
+    let out = trace_exp::export("avgn", 1, Some(SECS)).expect("known scenario");
+    let json = &out.chrome_json;
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.ends_with("]}\n"));
+    // One thread-name metadata record per run, before any events.
+    assert!(json.contains("\"ph\":\"M\""));
+    assert!(json.contains("\"thread_name\""));
+    // Quantum boundaries export as counter samples.
+    assert!(json.contains("\"ph\":\"C\""));
+    // Balanced braces and brackets (cheap well-formedness check that
+    // needs no JSON parser).
+    let opens = json.matches('{').count();
+    let closes = json.matches('}').count();
+    assert_eq!(opens, closes, "unbalanced braces");
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}

@@ -179,6 +179,47 @@ impl CpuCore {
         Ok(t)
     }
 
+    /// Like [`CpuCore::request`], but emits [`obs::EventKind::ClockTransition`]
+    /// and [`obs::EventKind::VoltageTransition`] events at simulated time
+    /// `now_us` into `trace` for every state change actually applied.
+    pub fn request_traced(
+        &mut self,
+        step: StepIndex,
+        voltage: Voltage,
+        params: &PowerParams,
+        now_us: u64,
+        trace: &mut obs::Trace,
+    ) -> Result<Transition, UnsafeVoltage> {
+        let from_khz = self.freq().as_khz();
+        let from_mv = self.voltage.as_mv();
+        let t = self.request(step, voltage, params)?;
+        if trace.is_enabled() {
+            let to_khz = self.freq().as_khz();
+            if to_khz != from_khz {
+                trace.emit(
+                    now_us,
+                    obs::EventKind::ClockTransition {
+                        from_khz: u64::from(from_khz),
+                        to_khz: u64::from(to_khz),
+                        stall_us: t.stall.as_micros(),
+                    },
+                );
+            }
+            let to_mv = self.voltage.as_mv();
+            if to_mv != from_mv {
+                trace.emit(
+                    now_us,
+                    obs::EventKind::VoltageTransition {
+                        from_mv: u64::from(from_mv),
+                        to_mv: u64::from(to_mv),
+                        settle_us: t.settle.as_micros(),
+                    },
+                );
+            }
+        }
+        Ok(t)
+    }
+
     /// Convenience: change only the clock step, keeping voltage.
     pub fn set_step(&mut self, step: StepIndex, params: &PowerParams) -> Transition {
         let v = self.voltage;
@@ -266,6 +307,29 @@ mod tests {
         assert_eq!(t.settle.as_micros(), 250);
         assert_eq!(c.step(), 3);
         assert_eq!(c.voltage(), V_LOW);
+    }
+
+    #[test]
+    fn traced_request_emits_only_applied_changes() {
+        let (mut c, p) = core();
+        let mut trace = obs::Trace::on();
+        // No-op: nothing emitted.
+        c.request_traced(10, V_HIGH, &p, 0, &mut trace).unwrap();
+        assert!(trace.is_empty());
+        // Clock + voltage change: one event each, at the given time.
+        c.request_traced(5, V_LOW, &p, 10_000, &mut trace).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.events()[0].time_us, 10_000);
+        assert_eq!(trace.events()[0].kind.name(), "clock");
+        assert_eq!(trace.events()[1].kind.name(), "voltage");
+        // Unsafe request: error, nothing emitted.
+        assert!(c.request_traced(10, V_LOW, &p, 20_000, &mut trace).is_err());
+        assert_eq!(trace.len(), 2);
+        // Disabled trace stays empty but the transition still applies.
+        let mut off = obs::Trace::off();
+        c.request_traced(10, V_HIGH, &p, 30_000, &mut off).unwrap();
+        assert!(off.is_empty());
+        assert_eq!(c.step(), 10);
     }
 
     #[test]

@@ -47,10 +47,19 @@ impl SchedLog {
     /// Creates an enabled log bounded to `capacity` records — the
     /// paper's kernel-memory limit.
     pub fn with_capacity(capacity: usize) -> Self {
+        SchedLog::bounded(true, Some(capacity))
+    }
+
+    /// Creates a log with both knobs explicit. Unlike
+    /// [`SchedLog::with_capacity`] this honours `enabled`: a disabled
+    /// log records nothing *and counts nothing as dropped* — drops
+    /// measure capacity pressure, not the operator's choice to keep
+    /// logging off.
+    pub fn bounded(enabled: bool, capacity: Option<usize>) -> Self {
         SchedLog {
             records: Vec::new(),
-            enabled: true,
-            capacity: Some(capacity),
+            enabled,
+            capacity,
             dropped: 0,
         }
     }
@@ -200,6 +209,25 @@ mod tests {
         assert_eq!(log.len(), 2);
         assert_eq!(log.records()[1].pid, 5);
         assert!((log.non_idle_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_bounded_log_never_counts_drops() {
+        // Regression: a disabled log must not attribute the records it
+        // ignores to capacity pressure, even when a capacity is set.
+        let mut log = SchedLog::bounded(false, Some(1));
+        for i in 0..10 {
+            log.record(SimTime::from_micros(i), 1, 59_000);
+        }
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0, "disabled is not dropping");
+        // The same traffic through an enabled bounded log does drop.
+        let mut log = SchedLog::bounded(true, Some(1));
+        for i in 0..10 {
+            log.record(SimTime::from_micros(i), 1, 59_000);
+        }
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.dropped(), 9);
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub struct KernelReport {
     pub sched_log: SchedLog,
     /// Deadline outcomes reported by tasks.
     pub deadlines: DeadlineLog,
+    /// Structured event trace (empty unless [`KernelConfig::trace`]
+    /// was set).
+    ///
+    /// [`KernelConfig::trace`]: crate::KernelConfig
+    pub trace: obs::Trace,
     /// Number of clock-step changes the policy caused.
     pub clock_switches: u64,
     /// Number of voltage changes the policy caused.

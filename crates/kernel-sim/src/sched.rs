@@ -45,6 +45,16 @@ pub struct KernelConfig {
     /// `force_schedule_every_tick` is off (Linux 2.0's DEF_PRIORITY is
     /// ~20 ticks = 200 ms).
     pub default_counter: u32,
+    /// Collect a structured event trace (quantum boundaries, policy
+    /// decisions, clock/voltage transitions, scheduling picks) into
+    /// [`KernelReport::trace`]. Off by default: the bulk experiment
+    /// engine runs thousands of cells and only `repro trace` wants the
+    /// event stream.
+    pub trace: bool,
+    /// Bound on [`SchedLog`] records kept (the paper's kernel-memory
+    /// limit); `None` keeps everything. Ignored when `log_sched` is
+    /// off — a disabled log drops nothing.
+    pub sched_log_capacity: Option<usize>,
 }
 
 impl Default for KernelConfig {
@@ -57,6 +67,8 @@ impl Default for KernelConfig {
             stop_when_battery_empty: false,
             force_schedule_every_tick: true,
             default_counter: 20,
+            trace: false,
+            sched_log_capacity: None,
         }
     }
 }
@@ -117,12 +129,18 @@ pub struct Kernel {
     policy: Option<Box<dyn ClockPolicy>>,
     deadlines: DeadlineLog,
     sched_log: SchedLog,
+    trace: obs::Trace,
 }
 
 impl Kernel {
     /// Creates a kernel for `machine` with the given configuration.
     pub fn new(machine: Machine, config: KernelConfig) -> Self {
-        let sched_log = SchedLog::new(config.log_sched);
+        let sched_log = SchedLog::bounded(config.log_sched, config.sched_log_capacity);
+        let trace = if config.trace {
+            obs::Trace::on()
+        } else {
+            obs::Trace::off()
+        };
         Kernel {
             machine,
             config,
@@ -132,6 +150,7 @@ impl Kernel {
             policy: None,
             deadlines: DeadlineLog::default(),
             sched_log,
+            trace,
         }
     }
 
@@ -188,12 +207,26 @@ impl Kernel {
                 self.current = Some(pid);
                 let khz = self.machine.cpu.freq().as_khz();
                 self.sched_log.record(now, pid, khz);
+                self.emit_schedule(now, pid, khz);
                 return;
             }
         }
         // Idle: record the idle task taking over (once per transition).
         let khz = self.machine.cpu.freq().as_khz();
         self.sched_log.record(now, IDLE_PID, khz);
+        self.emit_schedule(now, IDLE_PID, khz);
+    }
+
+    fn emit_schedule(&mut self, now: SimTime, pid: Pid, clock_khz: u32) {
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                now.as_micros(),
+                obs::EventKind::Schedule {
+                    pid: u64::from(pid),
+                    clock_khz: u64::from(clock_khz),
+                },
+            );
+        }
     }
 
     /// Runs the simulation to completion and returns the report.
@@ -372,6 +405,10 @@ impl Kernel {
                 let util = (busy_in_quantum.as_micros() as f64 / quantum.as_micros() as f64)
                     .clamp(0.0, 1.0);
                 utilization.push(now, util);
+                self.trace.emit(
+                    now.as_micros(),
+                    obs::EventKind::QuantumBoundary { utilization: util },
+                );
                 let wf = work_in_quantum.total_cycles(fastest, &self.machine.mem)
                     / (full_speed_khz as f64 * quantum.as_micros() as f64 / 1_000.0);
                 work_fraction.push(now, wf.clamp(0.0, 1.0));
@@ -392,20 +429,27 @@ impl Kernel {
                 // interrupt.
                 if let Some(policy) = self.policy.as_mut() {
                     let cur = self.machine.cpu.step();
-                    let req = policy.on_interval(now, util, cur);
+                    let req = policy.on_interval_traced(now, util, cur, &mut self.trace);
                     let target_step = req.step.unwrap_or(cur);
                     let target_v = req.voltage.unwrap_or(self.machine.cpu.voltage());
                     let params = self.machine.power.params.clone();
+                    let now_us = now.as_micros();
                     let transition = self
                         .machine
                         .cpu
-                        .request(target_step, target_v, &params)
+                        .request_traced(target_step, target_v, &params, now_us, &mut self.trace)
                         .unwrap_or_else(|_| {
                             // Electrically unsafe request: the kernel
                             // clamps the voltage up and retries.
                             self.machine
                                 .cpu
-                                .request(target_step, V_HIGH, &params)
+                                .request_traced(
+                                    target_step,
+                                    V_HIGH,
+                                    &params,
+                                    now_us,
+                                    &mut self.trace,
+                                )
                                 .expect("high voltage is safe at every step")
                         });
                     if !transition.stall.is_zero() {
@@ -468,6 +512,7 @@ impl Kernel {
             core_energy,
             sched_log: self.sched_log,
             deadlines: self.deadlines,
+            trace: self.trace,
             clock_switches: self.machine.cpu.clock_switches(),
             voltage_switches: self.machine.cpu.voltage_switches(),
             final_step: self.machine.cpu.step(),
@@ -853,6 +898,67 @@ mod tests {
         })));
         let r = k.run();
         assert_eq!(r.idle, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn trace_captures_quanta_decisions_and_transitions() {
+        let mut k = Kernel::new(
+            Machine::itsy(0, DeviceSet::NONE),
+            KernelConfig {
+                duration: SimDuration::from_secs(1),
+                trace: true,
+                ..KernelConfig::default()
+            },
+        );
+        k.spawn(busy_forever());
+        k.install_policy(Box::new(IntervalScheduler::best_from_paper(
+            itsy_hw::ClockTable::sa1100(),
+        )));
+        let r = k.run();
+        let count = |name: &str| {
+            r.trace
+                .events()
+                .iter()
+                .filter(|e| e.kind.name() == name)
+                .count()
+        };
+        assert_eq!(count("quantum"), 100, "one per 10ms tick over 1s");
+        assert_eq!(count("policy"), 100, "policy runs on every tick");
+        assert_eq!(
+            count("clock") as u64,
+            r.clock_switches,
+            "trace agrees with the hardware counters"
+        );
+        assert!(count("sched") > 0);
+        // Times never decrease (export relies on this).
+        let times: Vec<u64> = r.trace.events().iter().map(|e| e.time_us).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_simulation() {
+        let run = |trace: bool| {
+            let mut k = Kernel::new(
+                Machine::itsy(0, DeviceSet::NONE),
+                KernelConfig {
+                    duration: SimDuration::from_secs(1),
+                    trace,
+                    ..KernelConfig::default()
+                },
+            );
+            k.spawn(busy_forever());
+            k.install_policy(Box::new(IntervalScheduler::best_from_paper(
+                itsy_hw::ClockTable::sa1100(),
+            )));
+            k.run()
+        };
+        let traced = run(true);
+        let plain = run(false);
+        assert!(plain.trace.is_empty());
+        assert_eq!(traced.energy, plain.energy);
+        assert_eq!(traced.clock_switches, plain.clock_switches);
+        assert_eq!(traced.final_step, plain.final_step);
+        assert_eq!(traced.busy, plain.busy);
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! Structured observability for the simulator stack.
+//!
+//! The paper's whole argument rests on being able to *watch* a policy
+//! misbehave — the 5 kHz power trace, the kernel's scheduling log, the
+//! Fourier analysis of AVG_N's oscillation. This crate is the uniform
+//! substrate for that kind of evidence across the workspace:
+//!
+//! - [`event`] — typed events ([`EventKind`]) collected into a
+//!   [`Trace`]. Simulation-domain events (policy decisions, clock and
+//!   voltage transitions, quantum boundaries, scheduling picks) carry
+//!   *simulated* time and are therefore reproducible bit-for-bit;
+//!   engine-domain events (cache hits, job retries) belong to wall
+//!   clock and are logged, never exported.
+//! - [`logger`] — leveled, machine-readable stderr records replacing
+//!   ad-hoc `eprintln!`s. Verbosity is a process-wide switch
+//!   ([`set_verbosity`]) that `repro --quiet`/`-v` drives.
+//! - [`metrics`] — per-worker counters and histograms (built on
+//!   [`sim_core::Histogram`]) that merge associatively, so a parallel
+//!   batch aggregates without shared mutation.
+//! - [`run_metrics`] — the [`RunMetrics`] summary block written as
+//!   `metrics.json` next to each batch's results.
+//! - [`export`] — deterministic trace export: merged event streams
+//!   ordered by `(sim_time, run, seq)` — never wall clock — rendered
+//!   as CSV and Chrome `trace_event` JSON.
+
+pub mod event;
+pub mod export;
+pub mod logger;
+pub mod metrics;
+pub mod run_metrics;
+
+pub use event::{Event, EventKind, Trace};
+pub use export::{export_chrome_json, export_csv, merge_traces, MergedEvent};
+pub use logger::{enabled, set_verbosity, verbosity, Level};
+pub use metrics::WorkerMetrics;
+pub use run_metrics::{PolicyMetrics, RunMetrics};

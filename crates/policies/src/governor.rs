@@ -94,8 +94,50 @@ pub trait ClockPolicy {
         current_step: StepIndex,
     ) -> PolicyRequest;
 
+    /// Like [`ClockPolicy::on_interval`], but also emits an
+    /// [`obs::EventKind::PolicyDecision`] event into `trace`.
+    ///
+    /// The default implementation reports the raw utilization as the
+    /// weighted value, which is correct for memoryless policies;
+    /// predictor-backed policies override to expose the predictor's
+    /// state (the quantity the hysteresis band actually compares).
+    fn on_interval_traced(
+        &mut self,
+        now: SimTime,
+        utilization: f64,
+        current_step: StepIndex,
+        trace: &mut obs::Trace,
+    ) -> PolicyRequest {
+        let req = self.on_interval(now, utilization, current_step);
+        emit_decision(trace, now, utilization, utilization, current_step, req);
+        req
+    }
+
     /// Name used in reports.
     fn name(&self) -> String;
+}
+
+/// Records one policy decision into `trace` (no-op when disabled).
+fn emit_decision(
+    trace: &mut obs::Trace,
+    now: SimTime,
+    utilization: f64,
+    weighted: f64,
+    current_step: StepIndex,
+    req: PolicyRequest,
+) {
+    if trace.is_enabled() {
+        trace.emit(
+            now.as_micros(),
+            obs::EventKind::PolicyDecision {
+                utilization,
+                weighted,
+                from_step: current_step as u64,
+                to_step: req.step.map(|s| s as u64),
+                to_mv: req.voltage.map(|v| u64::from(v.as_mv())),
+            },
+        );
+    }
 }
 
 /// Voltage-scaling rule: run the core at 1.23 V whenever the clock is at
@@ -203,6 +245,19 @@ impl ClockPolicy for IntervalScheduler {
             .voltage_rule
             .map(|r| r.voltage_for(step.unwrap_or(current_step)));
         PolicyRequest { step, voltage }
+    }
+
+    fn on_interval_traced(
+        &mut self,
+        now: SimTime,
+        utilization: f64,
+        current_step: StepIndex,
+        trace: &mut obs::Trace,
+    ) -> PolicyRequest {
+        let req = self.on_interval(now, utilization, current_step);
+        let weighted = self.predictor.current();
+        emit_decision(trace, now, utilization, weighted, current_step, req);
+        req
     }
 
     fn name(&self) -> String {
@@ -360,6 +415,70 @@ mod tests {
     fn name_matches_paper_style() {
         let p = best();
         assert_eq!(p.name(), "PAST, peg - peg, Thresholds: >98%/<93%");
+    }
+
+    #[test]
+    fn traced_interval_reports_predictor_weighted_value() {
+        // AVG_3 after observing 1.0 from a zeroed state decays to
+        // (3·0 + 1)/4 = 0.25 — the traced event must carry the
+        // predictor's state, not the raw utilization.
+        let mut p = IntervalScheduler::new(
+            Box::new(AvgN::new(3)),
+            Hysteresis::PERING,
+            SpeedChange::One,
+            SpeedChange::One,
+            ClockTable::sa1100(),
+        );
+        let mut trace = obs::Trace::on();
+        let req = p.on_interval_traced(SimTime::from_millis(10), 1.0, 5, &mut trace);
+        assert_eq!(trace.len(), 1);
+        let e = &trace.events()[0];
+        assert_eq!(e.time_us, 10_000);
+        match &e.kind {
+            obs::EventKind::PolicyDecision {
+                utilization,
+                weighted,
+                from_step,
+                to_step,
+                ..
+            } => {
+                assert_eq!(*utilization, 1.0);
+                assert!((*weighted - 0.25).abs() < 1e-9);
+                assert_eq!(*from_step, 5);
+                assert_eq!(*to_step, req.step.map(|s| s as u64));
+            }
+            other => panic!("expected policy decision, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_interval_matches_untraced_decision() {
+        let mut traced = best();
+        let mut plain = best();
+        let mut trace = obs::Trace::off();
+        for (i, u) in [1.0, 0.2, 0.97, 0.5].into_iter().enumerate() {
+            let now = SimTime::from_millis(10 * (i as u64 + 1));
+            let a = traced.on_interval_traced(now, u, 5, &mut trace);
+            let b = plain.on_interval(now, u, 5);
+            assert_eq!(a, b, "tracing must not perturb decisions");
+        }
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn default_traced_impl_uses_raw_utilization() {
+        let mut p = ConstantPolicy::new(5, V_HIGH);
+        let mut trace = obs::Trace::on();
+        p.on_interval_traced(SimTime::from_millis(10), 0.4, 5, &mut trace);
+        match &trace.events()[0].kind {
+            obs::EventKind::PolicyDecision {
+                weighted, to_mv, ..
+            } => {
+                assert_eq!(*weighted, 0.4);
+                assert_eq!(*to_mv, Some(1500));
+            }
+            other => panic!("expected policy decision, got {other:?}"),
+        }
     }
 
     #[test]

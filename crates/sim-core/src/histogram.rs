@@ -135,6 +135,33 @@ impl Histogram {
         Some(self.hi)
     }
 
+    /// Folds another histogram's mass into this one.
+    ///
+    /// Merging is associative and commutative, which lets parallel
+    /// workers each fill a private histogram and combine them in any
+    /// join order without changing the aggregate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms differ in range or bin count.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "histogram shapes differ: [{}, {}]x{} vs [{}, {}]x{}",
+            self.lo,
+            self.hi,
+            self.bins.len(),
+            other.lo,
+            other.hi,
+            other.bins.len()
+        );
+        for (mine, theirs) in self.bins.iter_mut().zip(&other.bins) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.clamped += other.clamped;
+    }
+
     /// The fraction of mass in the two outermost bins — the
     /// "completely idle or completely busy" bimodality measure.
     pub fn edge_mass(&self) -> f64 {
@@ -222,5 +249,41 @@ mod tests {
     #[should_panic(expected = "bad range")]
     fn inverted_range_rejected() {
         let _ = Histogram::new(1.0, 0.0, 10);
+    }
+
+    #[test]
+    fn merge_pools_bins_count_and_clamped() {
+        let mut a = Histogram::unit();
+        a.record_all(&[0.1, 0.1, 0.9]);
+        a.record(-1.0);
+        let mut b = Histogram::unit();
+        b.record_all(&[0.9, 0.5]);
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.clamped(), 1);
+        assert!((a.mass_in(0.85, 0.95) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one() {
+        let xs = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let ys = [0.1, 0.2, 0.3];
+        let mut split_a = Histogram::unit();
+        split_a.record_all(&xs);
+        let mut split_b = Histogram::unit();
+        split_b.record_all(&ys);
+        split_a.merge(&split_b);
+        let mut whole = Histogram::unit();
+        whole.record_all(&xs);
+        whole.record_all(&ys);
+        assert_eq!(split_a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram shapes differ")]
+    fn merge_rejects_mismatched_shapes() {
+        let mut a = Histogram::unit();
+        let b = Histogram::new(0.0, 2.0, 100);
+        a.merge(&b);
     }
 }

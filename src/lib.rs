@@ -17,6 +17,8 @@
 //! - [`measure`] — the simulated DAQ measurement harness
 //! - [`signal`] — Fourier/filter analysis from §5.3
 //! - [`repro`] — one module per table/figure in the paper
+//! - [`engine`] — the parallel, cache-aware batch executor
+//! - [`obs`] — structured events, metrics and deterministic trace export
 //!
 //! # Examples
 //!
@@ -49,9 +51,11 @@
 
 pub use analysis as signal;
 pub use daq as measure;
+pub use engine;
 pub use experiments as repro;
 pub use itsy_hw as hw;
 pub use kernel_sim as kernel;
+pub use obs;
 pub use policies as dvs;
 pub use sim_core as sim;
 pub use workloads as apps;

@@ -90,3 +90,87 @@ fn utilization_is_nonlinear_in_frequency() {
     let total_drop = f9.decode_at(5) - f9.decode_at(10);
     assert!(total_drop > 0.1, "total drop = {total_drop}");
 }
+
+/// Splits one exported CSV line into `(run, event, detail)`.
+fn csv_row(line: &str) -> (&str, &str, &str) {
+    let mut it = line.splitn(5, ',');
+    let _time = it.next().unwrap();
+    let run = it.next().unwrap();
+    let _seq = it.next().unwrap();
+    let event = it.next().unwrap();
+    let detail = it.next().unwrap();
+    (run, event, detail)
+}
+
+/// Reads `key=value` out of an event's detail column.
+fn detail_field<'a>(detail: &'a str, key: &str) -> &'a str {
+    detail
+        .split(' ')
+        .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("{key} in {detail}"))
+}
+
+/// The AVG_N oscillation claim, checked against the exported event
+/// trace rather than the analytic model: on the 9/1 square wave the
+/// predictor's weighted output keeps swinging and the policy keeps
+/// issuing speed changes in *both* directions — it never settles.
+#[test]
+fn avg_n_oscillates_in_the_exported_trace() {
+    let out = repro::trace_exp::export("avgn", 1, Some(10)).expect("known scenario");
+    let decisions: Vec<&str> = out
+        .csv
+        .lines()
+        .skip(1)
+        .filter(|l| csv_row(l).1 == "policy")
+        .collect();
+    assert!(decisions.len() > 100, "one decision per quantum");
+    // Ignore the first second of warm-up; judge the steady state.
+    let tail = &decisions[100..];
+    let weighted: Vec<f64> = tail
+        .iter()
+        .map(|l| detail_field(csv_row(l).2, "weighted").parse().unwrap())
+        .collect();
+    let lo = weighted.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = weighted.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(hi - lo > 0.15, "filtered output settled: swing {}", hi - lo);
+    let (mut ups, mut downs) = (0u32, 0u32);
+    for l in tail {
+        let d = csv_row(l).2;
+        let from: u64 = detail_field(d, "from_step").parse().unwrap();
+        if let Ok(to) = detail_field(d, "to_step").parse::<u64>() {
+            if to > from {
+                ups += 1;
+            } else if to < from {
+                downs += 1;
+            }
+        }
+    }
+    assert!(
+        ups >= 5 && downs >= 5,
+        "policy settled: {ups} raises, {downs} lowers in steady state"
+    );
+}
+
+/// Figure 8's claim, checked against the exported event trace: the
+/// best policy "only select[s] 59Mhz or 206MHz clock settings and
+/// changes clock settings frequently".
+#[test]
+fn best_policy_pegs_between_extremes_in_the_exported_trace() {
+    let out = repro::trace_exp::export("fig8", 1, None).expect("known scenario");
+    let mut switches = 0u32;
+    let mut targets = std::collections::BTreeSet::new();
+    for line in out.csv.lines().skip(1) {
+        let (run, event, detail) = csv_row(line);
+        assert_eq!(run, "mpeg");
+        if event == "clock" {
+            switches += 1;
+            targets.insert(detail_field(detail, "to_khz").to_string());
+        }
+    }
+    assert!(switches > 30, "changes clock frequently: {switches} in 30s");
+    // After leaving the initial 206.4 MHz step the policy pegs: every
+    // transition lands on an extreme of the SA-1100 table.
+    let expected: std::collections::BTreeSet<String> =
+        ["59000".to_string(), "206400".to_string()].into();
+    assert_eq!(targets, expected, "peg-peg never picks a middle step");
+}
