@@ -1,0 +1,90 @@
+//! Span-profiler overhead: the same workload timed with the profiler
+//! off and on. The issue's acceptance bar is <2 % on a warm-cache
+//! sweep; `repro bench` measures it end-to-end, this bench isolates
+//! the two contributions:
+//!
+//! - `profiler_sim`: a single 2-second MPEG simulation, where the only
+//!   instrumented spans are the per-job ones — the floor;
+//! - `profiler_warm_sweep`: a warm-cache grid, where every cell takes
+//!   the `cache_probe`/`cache_decode` span path — the hot case the
+//!   acceptance criterion names.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use engine::{Engine, EngineConfig, JobSpec, WorkloadSpec};
+use experiments::sweep::{self, SweepConfig};
+use policies::{Hysteresis, PolicyDesc, SpeedChange};
+use workloads::Benchmark;
+
+fn grid() -> SweepConfig {
+    SweepConfig {
+        benchmarks: vec![Benchmark::Mpeg, Benchmark::Web],
+        ns: vec![0, 3],
+        rules: vec![SpeedChange::One, SpeedChange::Peg],
+        thresholds: vec![Hysteresis::BEST],
+        secs: 2,
+    }
+}
+
+fn bench_single_sim(c: &mut Criterion) {
+    let spec = JobSpec::new(
+        WorkloadSpec::Benchmark(Benchmark::Mpeg),
+        PolicyDesc::best_from_paper(),
+        2,
+        1,
+    );
+    let mut g = c.benchmark_group("profiler_sim");
+    g.sample_size(10);
+    for profiled in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::new("spans", profiled),
+            &profiled,
+            |b, &profiled| {
+                obs::span::set_enabled(profiled);
+                b.iter(|| black_box(spec.execute()));
+                obs::span::set_enabled(false);
+                let _ = obs::span::drain();
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_warm_sweep(c: &mut Criterion) {
+    let config = grid();
+    let root = std::env::temp_dir().join(format!("profiler-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let eng = Engine::new(EngineConfig {
+        jobs: 0,
+        use_cache: true,
+        state_root: Some(root.clone()),
+        ..EngineConfig::hermetic()
+    });
+    // Prime once; every timed iteration is then all cache hits — the
+    // span-per-probe path dominates.
+    let (_, stats, _) = sweep::run_with(&eng, &config, 1);
+    assert_eq!(stats.failed, 0);
+
+    let cells = sweep::specs(&config, 1).len() as u64;
+    let mut g = c.benchmark_group("profiler_warm_sweep");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cells));
+    for profiled in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::new("spans", profiled),
+            &profiled,
+            |b, &profiled| {
+                obs::span::set_enabled(profiled);
+                b.iter(|| black_box(sweep::run_with(&eng, &config, 1)));
+                obs::span::set_enabled(false);
+                let _ = obs::span::drain();
+            },
+        );
+    }
+    g.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(benches, bench_single_sim, bench_warm_sweep);
+criterion_main!(benches);

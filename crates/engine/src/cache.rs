@@ -116,6 +116,7 @@ impl ResultCache {
         }
         faults.damage_cache_bytes(key, &mut bytes);
 
+        let _span = obs::span::enter("cache_decode");
         match Self::parse(&bytes, spec) {
             Parsed::Hit(r) => CacheProbe::Hit(r),
             Parsed::Collision => CacheProbe::Miss,
@@ -160,10 +161,13 @@ impl ResultCache {
         let parent = path.parent().expect("entry path has a shard dir");
         fs::create_dir_all(parent)?;
         let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-        let payload = Self::payload(
-            &format!("spec={}", spec.canonical()),
-            &format!("result={}", result.encode()),
-        );
+        let payload = {
+            let _span = obs::span::enter("result_encode");
+            Self::payload(
+                &format!("spec={}", spec.canonical()),
+                &format!("result={}", result.encode()),
+            )
+        };
         fs::write(
             &tmp,
             format!(

@@ -136,12 +136,12 @@ pub struct BatchStats {
 }
 
 impl BatchStats {
-    /// Simulated cells per wall-clock second.
+    /// Simulated cells per wall-clock second. Shares
+    /// [`sim_core::rate_per_sec`] with `RunMetrics::jobs_per_sec`
+    /// (which rates *total* cells, cached ones included) — one rate
+    /// definition, two numerators.
     pub fn cells_per_sec(&self) -> f64 {
-        if self.elapsed_us == 0 {
-            return 0.0;
-        }
-        self.executed as f64 / (self.elapsed_us as f64 / 1e6)
+        sim_core::rate_per_sec(self.executed as u64, self.elapsed_us)
     }
 }
 
@@ -184,6 +184,15 @@ pub struct BatchOutcome {
     /// Aggregated observability metrics for the batch (also written as
     /// `metrics.json` when [`EngineConfig::write_metrics`] is set).
     pub metrics: RunMetrics,
+    /// Merged per-worker counters and histograms (includes the
+    /// collector's cache-hit service times) — the raw material behind
+    /// `metrics`, exposed for harnesses that need distributions, not
+    /// just percentile summaries.
+    pub worker_metrics: WorkerMetrics,
+    /// The batch's wall-clock span profile: one buffer per thread
+    /// (collector first, then workers). Empty unless span profiling
+    /// was enabled ([`obs::span::set_enabled`]).
+    pub profile: obs::Profile,
 }
 
 impl BatchOutcome {
@@ -294,8 +303,15 @@ impl Engine {
         };
         let mut slots: Vec<Option<Result<JobResult, JobFailure>>> = Vec::with_capacity(specs.len());
         let (mut journal_hits, mut cache_hits, mut quarantined) = (0usize, 0usize, 0usize);
+        // Metrics owned by the collector (calling) thread: cache-hit
+        // service times live here because only this thread probes.
+        let mut collector_wm = WorkerMetrics::new();
         for spec in specs {
-            let hit = journaled.get(&spec.key()).copied().inspect(|r| {
+            let key = {
+                let _s = obs::span::enter("content_key");
+                spec.key()
+            };
+            let hit = journaled.get(&key).copied().inspect(|r| {
                 journal_hits += 1;
                 // Backfill the cache so the next batch doesn't depend
                 // on the journal surviving.
@@ -304,25 +320,30 @@ impl Engine {
                 }
             });
             let hit = hit.or_else(|| match &cache {
-                Some(c) => match c.probe(spec, &faults) {
-                    CacheProbe::Hit(r) => {
-                        cache_hits += 1;
-                        obs::debug!("engine: cache_hit key={}", spec.key());
-                        Some(r)
+                Some(c) => {
+                    let _s = obs::span::enter("cache_probe");
+                    let probe_started = Instant::now();
+                    match c.probe(spec, &faults) {
+                        CacheProbe::Hit(r) => {
+                            cache_hits += 1;
+                            collector_wm.observe_log(
+                                "cache_hit_service_us",
+                                probe_started.elapsed().as_secs_f64() * 1e6,
+                            );
+                            obs::debug!("engine: cache_hit key={key}");
+                            Some(r)
+                        }
+                        CacheProbe::Quarantined => {
+                            quarantined += 1;
+                            obs::warn!("engine: cache_quarantine key={key} action=recompute");
+                            None
+                        }
+                        CacheProbe::Miss => {
+                            obs::debug!("engine: cache_miss key={key}");
+                            None
+                        }
                     }
-                    CacheProbe::Quarantined => {
-                        quarantined += 1;
-                        obs::warn!(
-                            "engine: cache_quarantine key={} action=recompute",
-                            spec.key()
-                        );
-                        None
-                    }
-                    CacheProbe::Miss => {
-                        obs::debug!("engine: cache_miss key={}", spec.key());
-                        None
-                    }
-                },
+                }
                 None => None,
             });
             slots.push(hit.map(Ok));
@@ -347,6 +368,7 @@ impl Engine {
         let workers = self.worker_count().min(pending.len());
         let max_retries = self.config.max_retries;
         let mut worker_totals = WorkerMetrics::new();
+        let mut worker_spans: Vec<(String, obs::ThreadSpans)> = Vec::new();
         if !pending.is_empty() {
             let queue = Injector::new();
             let to_run = pending.len();
@@ -360,14 +382,17 @@ impl Engine {
                     let tx = tx.clone();
                     let queue = &queue;
                     let faults = &faults;
-                    // Each worker owns its metrics and hands them back
-                    // through the join handle — no shared mutation, so
-                    // the aggregate is independent of scheduling.
+                    // Each worker owns its metrics and span buffer and
+                    // hands them back through the join handle — no
+                    // shared mutation, so the aggregate is independent
+                    // of scheduling.
                     handles.push(s.spawn(move |_| {
                         let mut wm = WorkerMetrics::new();
                         loop {
                             match queue.steal() {
                                 Steal::Success((i, spec)) => {
+                                    let _job_span = obs::span::enter("job");
+                                    let job_started = Instant::now();
                                     let key = spec.key();
                                     let mut attempt = 0u32;
                                     let outcome = loop {
@@ -415,6 +440,10 @@ impl Engine {
                                             );
                                         }
                                     }
+                                    wm.observe_log(
+                                        "job_latency_us",
+                                        job_started.elapsed().as_secs_f64() * 1e6,
+                                    );
                                     if tx.send((i, attempt, outcome)).is_err() {
                                         break;
                                     }
@@ -423,12 +452,13 @@ impl Engine {
                                 Steal::Retry => continue,
                             }
                         }
-                        wm
+                        (wm, obs::span::drain())
                     }));
                 }
                 drop(tx);
 
                 // Collector: the only thread touching disk or slots.
+                let drain_span = obs::span::enter("drain");
                 let mut done = 0usize;
                 let mut last_report = Instant::now();
                 for (i, attempts, outcome) in rx {
@@ -436,6 +466,7 @@ impl Engine {
                     match outcome {
                         Ok(result) => {
                             if let Some(cache) = &cache {
+                                let _s = obs::span::enter("cache_write");
                                 if let Err(e) = cache.store_with(spec, &result, &faults) {
                                     obs::warn!(
                                         "engine: cache write failed for {}: {e}",
@@ -444,6 +475,7 @@ impl Engine {
                                 }
                             }
                             if let Some(j) = &mut journal {
+                                let _s = obs::span::enter("journal_append");
                                 if let Err(e) = j.record_with(spec.key(), &result, &faults) {
                                     obs::warn!("engine: journal write failed: {e}");
                                 }
@@ -477,15 +509,24 @@ impl Engine {
                     }
                 }
 
+                drop(drain_span);
+
                 // Per-worker error status: a worker that died outside
                 // the catch-unwind fence (an engine bug, not a job
                 // panic) is reported instead of aborting the process.
-                // Survivors hand back their metrics for merging.
+                // Survivors hand back their metrics and span buffers
+                // for merging.
                 let mut dead_workers = 0usize;
                 let mut merged = WorkerMetrics::new();
-                for h in handles {
+                let mut worker_spans: Vec<(String, obs::ThreadSpans)> = Vec::new();
+                for (w, h) in handles.into_iter().enumerate() {
                     match h.join() {
-                        Ok(wm) => merged.merge_from(&wm),
+                        Ok((wm, spans)) => {
+                            merged.merge_from(&wm);
+                            if !spans.is_empty() {
+                                worker_spans.push((format!("worker-{w}"), spans));
+                            }
+                        }
                         Err(payload) => {
                             dead_workers += 1;
                             obs::error!(
@@ -495,11 +536,12 @@ impl Engine {
                         }
                     }
                 }
-                (dead_workers, merged)
+                (dead_workers, merged, worker_spans)
             });
             let dead_workers = match scope_outcome {
-                Ok((n, merged)) => {
+                Ok((n, merged, spans)) => {
                     worker_totals = merged;
+                    worker_spans = spans;
                     n
                 }
                 Err(payload) => {
@@ -589,13 +631,37 @@ impl Engine {
             }
         }
 
-        let metrics = self.build_metrics(batch, specs, &results, &stats, &worker_totals);
+        // Assemble the batch profile: collector thread first (probe,
+        // drain, cache/journal writes), then workers in index order.
+        // Draining the collector here also scoops up any spans the
+        // calling driver closed before run_batch — its stages appear
+        // alongside the engine's.
+        let mut profile = obs::Profile::default();
+        let collector_spans = obs::span::drain();
+        if !collector_spans.is_empty() {
+            profile
+                .threads
+                .push(("collector".to_string(), collector_spans));
+        }
+        profile.threads.extend(worker_spans);
+
+        worker_totals.merge_from(&collector_wm);
+        let metrics = self.build_metrics(batch, specs, &results, &stats, &worker_totals, &profile);
         if self.config.write_metrics {
             let dir = root.join(batch);
             let write = std::fs::create_dir_all(&dir)
                 .and_then(|()| std::fs::write(dir.join("metrics.json"), metrics.to_json()));
             if let Err(e) = write {
                 obs::warn!("engine: could not write metrics.json for `{batch}`: {e}");
+            }
+            // The flame chart is wall-clock and profile-gated, so it
+            // only exists when spans were actually collected — the
+            // deterministic artifacts CI byte-diffs are untouched.
+            if !profile.is_empty() {
+                let json = obs::export_spans_chrome_json(&profile);
+                if let Err(e) = std::fs::write(dir.join("profile.trace.json"), json) {
+                    obs::warn!("engine: could not write profile.trace.json for `{batch}`: {e}");
+                }
             }
         }
 
@@ -604,6 +670,8 @@ impl Engine {
             stats,
             faults: faults.stats(),
             metrics,
+            worker_metrics: worker_totals,
+            profile,
         }
     }
 
@@ -618,6 +686,7 @@ impl Engine {
         results: &[Result<JobResult, JobFailure>],
         stats: &BatchStats,
         worker_totals: &WorkerMetrics,
+        profile: &obs::Profile,
     ) -> RunMetrics {
         let mut sched_dropped = 0u64;
         let mut clock_switches = 0u64;
@@ -657,6 +726,15 @@ impl Engine {
             per_policy: per_policy.into_values().collect(),
             ..Default::default()
         };
+        metrics.set_job_latencies(worker_totals.log_histogram("job_latency_us"));
+        if !profile.is_empty() {
+            let tree = profile.tree();
+            metrics.set_stages(
+                tree.stage_self_totals()
+                    .iter()
+                    .map(|(name, &ns)| (name.as_str(), ns)),
+            );
+        }
         metrics.finalize();
         metrics
     }

@@ -187,6 +187,7 @@ impl JobSpec {
     }
 
     fn simulate(&self, trace: bool) -> (JobResult, obs::Trace) {
+        let _span = obs::span::enter("simulate");
         let mut config = KernelConfig {
             duration: self.duration,
             trace,

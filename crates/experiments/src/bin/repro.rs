@@ -2,12 +2,13 @@
 //!
 //! ```text
 //! repro [--seed N] [--jobs N] [--resume] [--no-cache] [--quiet | -v]
-//!       [--sweep-secs N] [--trace-secs N] [--fault-plan SPEC]
+//!       [--sweep-secs N] [--trace-secs N] [--fault-plan SPEC] [--profile]
+//!       [--baseline FILE] [--bench-tolerance PCT] [--bench-iters N]
 //!       [all | fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!        table1 table2 table3 battery sa2 cost
 //!        sweep sweep-full deadline ablation govil elastic
 //!        tracedriven timescale summary oracle memprobe modern spectrum
-//!        trace]
+//!        trace bench]
 //! ```
 //!
 //! Results are printed (tables + ASCII charts) and saved as CSV under
@@ -43,6 +44,20 @@
 //!   `chaos:<seed>` or explicit `key=value` pairs, e.g.
 //!   `seed=7,corrupt=0.25,torn=0.25,panic=0.25,max_panics=2`.
 //!   The same spec replays the same faults, whatever `--jobs` is.
+//! - `--profile` — turn on the wall-clock span profiler for the whole
+//!   invocation: engine-backed experiments gain job-latency
+//!   percentiles' stage breakdown in `metrics.json`, write a
+//!   `profile.trace.json` flame chart next to it, and `trace` exports
+//!   grow a wall-clock span track alongside the sim-time tracks.
+//!
+//! `bench` is the performance-regression harness (see EXPERIMENTS.md):
+//! it times a cold sweep, a warm (all-cache-hit) sweep, a single-thread
+//! simulator hot loop, and a trace export, then writes `BENCH_<n>.json`
+//! and `BENCH_latest.json` into the current directory. It manages the
+//! profiler flag itself. `--baseline FILE` compares the new gate
+//! against a previous report and exits 1 on a regression beyond
+//! `--bench-tolerance` percent (default 30); `--bench-iters N` sets the
+//! hot-loop iteration count.
 
 use std::time::Instant;
 
@@ -126,6 +141,24 @@ fn main() {
     } else if take_bool_flag(&mut args, "-v") {
         obs::set_verbosity(obs::Level::Debug);
     }
+    if take_bool_flag(&mut args, "--profile") {
+        obs::span::set_enabled(true);
+    }
+    let baseline: Option<String> = take_value_flag(&mut args, "--baseline");
+    let bench_tolerance: f64 = take_value_flag(&mut args, "--bench-tolerance")
+        .map(|v| {
+            v.parse().unwrap_or_else(|e| {
+                eprintln!("bad --bench-tolerance value: {e}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(30.0);
+    let bench_iters: Option<u32> = take_value_flag(&mut args, "--bench-iters").map(|v| {
+        v.parse().unwrap_or_else(|e| {
+            eprintln!("bad --bench-iters value: {e}");
+            std::process::exit(2);
+        })
+    });
     let faults: Option<FaultPlan> = take_value_flag(&mut args, "--fault-plan").map(|v| {
         let parsed = match v.strip_prefix("chaos:") {
             Some(seed) => seed
@@ -149,6 +182,7 @@ fn main() {
         ..EngineConfig::default()
     });
     let mut cells_failed = 0usize;
+    let mut gate_failed = false;
     #[allow(non_snake_case)]
     let SEED = seed;
     let want: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
@@ -393,6 +427,59 @@ fn main() {
                     );
                 }
             }
+            "bench" => {
+                let mut cfg = bench_cmd::BenchConfig {
+                    seed: SEED,
+                    jobs,
+                    ..bench_cmd::BenchConfig::default()
+                };
+                if let Some(secs) = sweep_secs {
+                    cfg.grid.secs = secs;
+                }
+                if let Some(secs) = trace_secs {
+                    cfg.trace_secs = secs;
+                }
+                if let Some(iters) = bench_iters {
+                    cfg.hot_iters = iters;
+                }
+                // Read the baseline gate before saving: saving
+                // rewrites BENCH_latest.json, which is a perfectly
+                // good --baseline argument.
+                let base_gate = baseline.as_ref().map(|path| {
+                    std::fs::read_to_string(path)
+                        .ok()
+                        .and_then(|doc| bench_cmd::parse_gate(&doc))
+                });
+                let report = bench_cmd::run(&cfg);
+                print!("{}", report.summary);
+                let (numbered, latest) = report
+                    .save(std::path::Path::new("."))
+                    .expect("write BENCH report");
+                println!(
+                    "    wrote {} (and {})",
+                    numbered.display(),
+                    latest.display()
+                );
+                if let (Some(path), Some(base)) = (&baseline, base_gate) {
+                    match base {
+                        Some(base) => {
+                            let failures = bench_cmd::compare(&report.gate, &base, bench_tolerance);
+                            if failures.is_empty() {
+                                println!("    gate holds vs {path} (tolerance {bench_tolerance}%)");
+                            } else {
+                                for failure in &failures {
+                                    eprintln!("    REGRESSION {failure}");
+                                }
+                                gate_failed = true;
+                            }
+                        }
+                        None => {
+                            eprintln!("    no gate object readable from {path}");
+                            gate_failed = true;
+                        }
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown experiment: {other}");
                 std::process::exit(2);
@@ -405,6 +492,10 @@ fn main() {
             "{cells_failed} cell(s) produced no result; completed cells are \
              cached — re-run with --resume to retry the failures"
         );
+        std::process::exit(1);
+    }
+    if gate_failed {
+        eprintln!("bench gate failed; see REGRESSION lines above");
         std::process::exit(1);
     }
 }

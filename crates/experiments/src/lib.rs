@@ -39,9 +39,14 @@
 //! | `modern` | the paper's policy vs Linux cpufreq ondemand/conservative |
 //! | `spectrum` | measured MPEG utilization spectrum: frame lines vs AVG_N |
 //! | `trace` | deterministic structured-event export (CSV + Chrome JSON) |
+//!
+//! Not a paper artifact but run the same way: `repro bench`
+//! ([`bench_cmd`]) measures the harness itself and writes
+//! `BENCH_*.json` performance reports.
 
 pub mod ablation;
 pub mod battery_exp;
+pub mod bench_cmd;
 pub mod deadline_exp;
 pub mod elastic;
 pub mod fig3;

@@ -22,15 +22,24 @@
 //! - [`export`] — deterministic trace export: merged event streams
 //!   ordered by `(sim_time, run, seq)` — never wall clock — rendered
 //!   as CSV and Chrome `trace_event` JSON.
+//! - [`span`] — hierarchical wall-clock span profiling: scoped RAII
+//!   guards recording into per-thread buffers, merged per batch into a
+//!   [`SpanTree`] and exportable as a Chrome flame-chart track. Off by
+//!   default ([`span::set_enabled`]); `repro --profile` turns it on.
 
 pub mod event;
 pub mod export;
 pub mod logger;
 pub mod metrics;
 pub mod run_metrics;
+pub mod span;
 
 pub use event::{Event, EventKind, Trace};
-pub use export::{export_chrome_json, export_csv, merge_traces, MergedEvent};
+pub use export::{
+    export_chrome_json, export_chrome_json_with_spans, export_csv, export_spans_chrome_json,
+    merge_traces, MergedEvent,
+};
 pub use logger::{enabled, set_verbosity, verbosity, Level};
 pub use metrics::WorkerMetrics;
-pub use run_metrics::{PolicyMetrics, RunMetrics};
+pub use run_metrics::{PolicyMetrics, RunMetrics, StageMetrics};
+pub use span::{Profile, SpanGuard, SpanNode, SpanTree, ThreadSpans};

@@ -13,13 +13,14 @@
 
 use std::collections::BTreeMap;
 
-use sim_core::Histogram;
+use sim_core::{Histogram, LogHistogram};
 
 /// Metrics owned by one worker thread (or the collector).
 #[derive(Debug, Clone, Default)]
 pub struct WorkerMetrics {
     counters: BTreeMap<&'static str, u64>,
     hists: BTreeMap<&'static str, Histogram>,
+    log_hists: BTreeMap<&'static str, LogHistogram>,
 }
 
 impl WorkerMetrics {
@@ -57,6 +58,22 @@ impl WorkerMetrics {
         self.hists.get(name)
     }
 
+    /// Records `value` in log-bucketed histogram `name` — the shape for
+    /// unbounded wall-clock quantities (latencies, service times) whose
+    /// range isn't known up front.
+    pub fn observe_log(&mut self, name: &'static str, value: f64) {
+        self.log_hists
+            .entry(name)
+            .or_default()
+            .record(value);
+    }
+
+    /// Log-bucketed histogram `name`, if anything was ever observed
+    /// under it.
+    pub fn log_histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.log_hists.get(name)
+    }
+
     /// Folds another worker's metrics into this one.
     pub fn merge_from(&mut self, other: &WorkerMetrics) {
         for (&name, &v) in &other.counters {
@@ -66,6 +83,12 @@ impl WorkerMetrics {
             self.hists
                 .entry(name)
                 .or_insert_with(Histogram::unit)
+                .merge(h);
+        }
+        for (&name, h) in &other.log_hists {
+            self.log_hists
+                .entry(name)
+                .or_default()
                 .merge(h);
         }
     }
@@ -144,5 +167,20 @@ mod tests {
         let total = WorkerMetrics::merge(std::iter::empty());
         assert_eq!(total.counter("anything"), 0);
         assert!(total.histogram("anything").is_none());
+        assert!(total.log_histogram("anything").is_none());
+    }
+
+    #[test]
+    fn log_histograms_record_and_merge() {
+        let mut a = WorkerMetrics::new();
+        a.observe_log("job_latency_us", 100.0);
+        a.observe_log("job_latency_us", 200.0);
+        let mut b = WorkerMetrics::new();
+        b.observe_log("job_latency_us", 1e6);
+        let total = WorkerMetrics::merge([&a, &b]);
+        let h = total.log_histogram("job_latency_us").expect("merged");
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), Some(1e6));
+        assert_eq!(h.min(), Some(100.0));
     }
 }

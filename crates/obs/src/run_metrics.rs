@@ -14,6 +14,17 @@
 
 use std::fmt::Write as _;
 
+/// Wall-clock time attributed to one profiler stage (span name).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageMetrics {
+    /// Span name ("simulate", "cache_probe", …).
+    pub stage: String,
+    /// Self time summed across all spans with this name, µs.
+    pub total_us: u64,
+    /// `total_us` over the sum of all stages' self time.
+    pub share: f64,
+}
+
 /// Simulated-machine counts attributed to one policy label.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PolicyMetrics {
@@ -64,6 +75,17 @@ pub struct RunMetrics {
     pub wall_us: u64,
     /// Simulated time covered, summed over simulated cells, µs.
     pub sim_us: u64,
+    /// Median per-job wall latency, µs (0 when no jobs executed).
+    pub job_latency_p50_us: f64,
+    /// 90th-percentile per-job wall latency, µs.
+    pub job_latency_p90_us: f64,
+    /// 99th-percentile per-job wall latency, µs.
+    pub job_latency_p99_us: f64,
+    /// Worst per-job wall latency, µs.
+    pub job_latency_max_us: f64,
+    /// Per-stage wall-clock breakdown from the span profiler, sorted
+    /// by stage name; empty when profiling was off.
+    pub stages: Vec<StageMetrics>,
     /// Per-policy breakdown, sorted by label.
     pub per_policy: Vec<PolicyMetrics>,
 }
@@ -76,18 +98,56 @@ impl RunMetrics {
         } else {
             self.cache_hits as f64 / self.total as f64
         };
-        let wall_secs = self.wall_us as f64 / 1e6;
-        self.jobs_per_sec = if wall_secs > 0.0 {
-            self.total as f64 / wall_secs
-        } else {
-            0.0
-        };
+        self.jobs_per_sec = sim_core::rate_per_sec(self.total, self.wall_us);
         self.sim_per_wall = if self.wall_us > 0 {
             self.sim_us as f64 / self.wall_us as f64
         } else {
             0.0
         };
         self.per_policy.sort_by(|a, b| a.policy.cmp(&b.policy));
+        self.stages.sort_by(|a, b| a.stage.cmp(&b.stage));
+    }
+
+    /// Fills the per-job latency percentile fields from a log-bucketed
+    /// latency histogram (typically the merged workers'
+    /// `job_latency_us`). A `None`/empty histogram zeroes them.
+    pub fn set_job_latencies(&mut self, hist: Option<&sim_core::LogHistogram>) {
+        let (p50, p90, p99, max) = match hist {
+            Some(h) if h.count() > 0 => (
+                h.percentile(0.50).unwrap_or(0.0),
+                h.percentile(0.90).unwrap_or(0.0),
+                h.percentile(0.99).unwrap_or(0.0),
+                h.max().unwrap_or(0.0),
+            ),
+            _ => (0.0, 0.0, 0.0, 0.0),
+        };
+        self.job_latency_p50_us = p50;
+        self.job_latency_p90_us = p90;
+        self.job_latency_p99_us = p99;
+        self.job_latency_max_us = max;
+    }
+
+    /// Fills the per-stage breakdown from `(stage, self_ns)` totals as
+    /// produced by `SpanTree::stage_self_totals`.
+    pub fn set_stages<'a>(&mut self, totals: impl IntoIterator<Item = (&'a str, u64)>) {
+        let stages: Vec<(String, u64)> = totals
+            .into_iter()
+            .map(|(name, ns)| (name.to_string(), ns / 1_000))
+            .collect();
+        let whole: u64 = stages.iter().map(|(_, us)| us).sum();
+        self.stages = stages
+            .into_iter()
+            .map(|(stage, total_us)| StageMetrics {
+                stage,
+                total_us,
+                share: if whole == 0 {
+                    0.0
+                } else {
+                    total_us as f64 / whole as f64
+                },
+            })
+            .collect();
+        self.stages.sort_by(|a, b| a.stage.cmp(&b.stage));
     }
 
     /// Renders the metrics as a JSON document (trailing newline).
@@ -114,6 +174,43 @@ impl RunMetrics {
         let _ = writeln!(out, "  \"sim_per_wall\": {:.6},", self.sim_per_wall);
         let _ = writeln!(out, "  \"wall_us\": {},", self.wall_us);
         let _ = writeln!(out, "  \"sim_us\": {},", self.sim_us);
+        let _ = writeln!(
+            out,
+            "  \"job_latency_p50_us\": {:.6},",
+            self.job_latency_p50_us
+        );
+        let _ = writeln!(
+            out,
+            "  \"job_latency_p90_us\": {:.6},",
+            self.job_latency_p90_us
+        );
+        let _ = writeln!(
+            out,
+            "  \"job_latency_p99_us\": {:.6},",
+            self.job_latency_p99_us
+        );
+        let _ = writeln!(
+            out,
+            "  \"job_latency_max_us\": {:.6},",
+            self.job_latency_max_us
+        );
+        out.push_str("  \"stages\": [");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"stage\": \"{}\", \"total_us\": {}, \"share\": {:.6}}}",
+                escape(&s.stage),
+                s.total_us,
+                s.share
+            );
+        }
+        if !self.stages.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
         out.push_str("  \"per_policy\": [");
         for (i, p) in self.per_policy.iter().enumerate() {
             if i > 0 {
@@ -245,6 +342,48 @@ mod tests {
         };
         m.finalize();
         assert!(m.to_json().contains("\\\"peg\\\""));
+    }
+
+    #[test]
+    fn latency_fields_fill_from_log_histogram_and_render() {
+        let mut h = sim_core::LogHistogram::new();
+        for v in [100.0, 200.0, 400.0, 800.0, 100_000.0] {
+            h.record(v);
+        }
+        let mut m = sample();
+        m.set_job_latencies(Some(&h));
+        assert!(m.job_latency_p50_us > 0.0);
+        assert!(m.job_latency_p50_us <= m.job_latency_p90_us);
+        assert!(m.job_latency_p90_us <= m.job_latency_p99_us);
+        assert!(m.job_latency_p99_us <= m.job_latency_max_us);
+        assert_eq!(m.job_latency_max_us, 100_000.0);
+        let json = m.to_json();
+        assert!(json.contains("\"job_latency_p50_us\": "));
+        assert!(json.contains("\"job_latency_max_us\": 100000.000000"));
+        m.set_job_latencies(None);
+        assert_eq!(m.job_latency_max_us, 0.0);
+    }
+
+    #[test]
+    fn stages_sort_and_share_sums_to_one() {
+        let mut m = sample();
+        m.set_stages([("simulate", 3_000_000u64), ("cache_probe", 1_000_000u64)]);
+        assert_eq!(m.stages[0].stage, "cache_probe");
+        assert_eq!(m.stages[0].total_us, 1_000);
+        assert_eq!(m.stages[1].stage, "simulate");
+        let share_sum: f64 = m.stages.iter().map(|s| s.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+        let json = m.to_json();
+        let stages_at = json.find("\"stages\"").expect("stages key");
+        let per_policy_at = json.find("\"per_policy\"").expect("per_policy key");
+        assert!(stages_at < per_policy_at, "stages precede per_policy");
+        assert!(json.contains("{\"stage\": \"simulate\", \"total_us\": 3000, \"share\": 0.750000}"));
+    }
+
+    #[test]
+    fn empty_stages_render_as_empty_array() {
+        let json = sample().to_json();
+        assert!(json.contains("\"stages\": [],"));
     }
 
     #[test]

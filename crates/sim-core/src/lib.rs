@@ -19,6 +19,7 @@
 
 pub mod event;
 pub mod histogram;
+pub mod log_histogram;
 pub mod quantity;
 pub mod rng;
 pub mod series;
@@ -27,8 +28,9 @@ pub mod time;
 
 pub use event::{EventQueue, ScheduledEvent};
 pub use histogram::Histogram;
+pub use log_histogram::LogHistogram;
 pub use quantity::{Energy, Frequency, Power, Voltage};
 pub use rng::Rng;
 pub use series::TimeSeries;
-pub use stats::{mean, student_t_975, ConfidenceInterval, RunStats};
+pub use stats::{mean, rate_per_sec, student_t_975, ConfidenceInterval, RunStats};
 pub use time::{SimDuration, SimTime};

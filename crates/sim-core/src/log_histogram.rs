@@ -1,0 +1,273 @@
+//! Log-bucketed histograms for unbounded positive quantities.
+//!
+//! [`Histogram`](crate::Histogram) needs its range up front, which fits
+//! bounded quantities like utilization but not wall-clock latencies: a
+//! cache hit services in microseconds while a cold 300-second
+//! simulation takes seconds, five orders of magnitude apart, and
+//! neither bound is known before the run. [`LogHistogram`] buckets by
+//! logarithm instead — 16 sub-buckets per octave, so every bucket spans
+//! a fixed *ratio* (`2^(1/16) ≈ 1.044`) and percentile estimates carry
+//! at most ~2.2 % relative error at any scale, with O(log range)
+//! memory.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-buckets per octave (power of two). 16 gives ≤ 2.2 % relative
+/// quantile error from bucket midpointing.
+const SUBBUCKETS: f64 = 16.0;
+
+/// A histogram over `(0, ∞)` with logarithmic buckets.
+///
+/// Values ≤ 0 are counted in a dedicated zero bucket; non-finite
+/// samples are dropped. Exact `min`/`max`/`sum` are tracked alongside
+/// the buckets, so extreme quantiles stay sharp.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in [1.0, 2.0, 4.0, 8.0, 1000.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), Some(1000.0));
+/// let p50 = h.percentile(0.5).unwrap();
+/// assert!((p50 / 4.0 - 1.0).abs() < 0.05, "p50 = {p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Bucket index → count; index `i` covers `[2^(i/16), 2^((i+1)/16))`.
+    buckets: BTreeMap<i32, u64>,
+    /// Samples with value ≤ 0.
+    zeros: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: BTreeMap::new(),
+            zeros: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_of(v: f64) -> i32 {
+        (v.log2() * SUBBUCKETS).floor() as i32
+    }
+
+    /// Geometric midpoint of a bucket — the representative value
+    /// percentile queries report.
+    fn bucket_mid(i: i32) -> f64 {
+        ((i as f64 + 0.5) / SUBBUCKETS).exp2()
+    }
+
+    /// Records one sample. Non-finite values are dropped; values ≤ 0
+    /// land in the zero bucket.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if v <= 0.0 {
+            self.zeros += 1;
+        } else {
+            *self.buckets.entry(Self::bucket_of(v)).or_insert(0) += 1;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample; `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample; `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded samples; `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.sum / self.count as f64)
+    }
+
+    /// Percentile estimate for `q ∈ [0, 1]` (nearest-rank over
+    /// buckets, reporting the bucket's geometric midpoint clamped to
+    /// the observed `[min, max]`). `None` if empty.
+    ///
+    /// Clamping plus the ordered bucket walk makes estimates monotone
+    /// in `q` and never above [`max`](Self::max) — the properties the
+    /// oracle proptest pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "percentile must be in [0,1]");
+        if self.count == 0 {
+            return None;
+        }
+        // Nearest-rank: the ceil(q*n)-th smallest sample (1-based).
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = self.zeros;
+        if rank <= seen {
+            return Some(0.0_f64.max(self.min).min(self.max));
+        }
+        for (&i, &c) in &self.buckets {
+            seen += c;
+            if rank <= seen {
+                return Some(Self::bucket_mid(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Folds another histogram into this one. Associative and
+    /// commutative, like [`Histogram::merge`](crate::Histogram::merge),
+    /// so per-worker histograms combine in any join order.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (&i, &c) in &other.buckets {
+            *self.buckets.entry(i).or_insert(0) += c;
+        }
+        self.zeros += other.zeros;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_graceful() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.percentile(0.5), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = LogHistogram::new();
+        h.record(123.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let p = h.percentile(q).unwrap();
+            assert_eq!(p, 123.0, "q={q}: clamped to the only sample");
+        }
+    }
+
+    #[test]
+    fn wide_range_percentiles_are_close() {
+        let mut h = LogHistogram::new();
+        // 1..=1000, so true p50 = 500, p90 = 900.
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let p50 = h.percentile(0.5).unwrap();
+        let p90 = h.percentile(0.9).unwrap();
+        assert!((p50 / 500.0 - 1.0).abs() < 0.05, "p50 = {p50}");
+        assert!((p90 / 900.0 - 1.0).abs() < 0.05, "p90 = {p90}");
+        assert_eq!(h.percentile(1.0), Some(1000.0));
+        assert_eq!(h.min(), Some(1.0));
+    }
+
+    #[test]
+    fn zeros_and_negatives_count_in_zero_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(10.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(-3.0));
+        // p0.33 is the 1st of 3 samples: the zero bucket, reported as
+        // max(0, min) clamped to max.
+        let p_low = h.percentile(0.3).unwrap();
+        assert_eq!(p_low, 0.0);
+        assert_eq!(h.percentile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn non_finite_dropped() {
+        let mut h = LogHistogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn merge_matches_recording_in_one() {
+        let xs = [0.5, 1.0, 2.0, 1e6];
+        let ys = [3.0, 0.0, 1e-9];
+        let mut a = LogHistogram::new();
+        for &x in &xs {
+            a.record(x);
+        }
+        let mut b = LogHistogram::new();
+        for &y in &ys {
+            b.record(y);
+        }
+        a.merge(&b);
+        let mut whole = LogHistogram::new();
+        for &v in xs.iter().chain(&ys) {
+            whole.record(v);
+        }
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = LogHistogram::new();
+        a.record(1.0);
+        a.record(64.0);
+        let mut b = LogHistogram::new();
+        b.record(7.5);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_per_bucket() {
+        // Any single positive value is reported within one bucket's
+        // ratio of itself when other mass surrounds it.
+        let mut h = LogHistogram::new();
+        for i in 0..100 {
+            h.record(1.5f64.powi(i % 20));
+        }
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let p = h.percentile(q).unwrap();
+            assert!(p >= h.min().unwrap() && p <= h.max().unwrap(), "q={q}: {p}");
+        }
+    }
+}

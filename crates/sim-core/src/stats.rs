@@ -8,6 +8,19 @@
 
 use core::fmt;
 
+/// Items per second from a count and an elapsed wall time in
+/// microseconds; `0.0` when no time has elapsed.
+///
+/// The single source of truth for every throughput figure the
+/// workspace reports — batch `cells/s`, metrics `jobs/s`, bench
+/// `sims/s` — so the rates stay comparable across reports.
+pub fn rate_per_sec(count: u64, elapsed_us: u64) -> f64 {
+    if elapsed_us == 0 {
+        return 0.0;
+    }
+    count as f64 / (elapsed_us as f64 / 1e6)
+}
+
 /// Arithmetic mean of a sample.
 ///
 /// Returns `None` for an empty slice.
@@ -143,6 +156,13 @@ impl RunStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rate_handles_zero_elapsed_and_scales() {
+        assert_eq!(rate_per_sec(100, 0), 0.0);
+        assert!((rate_per_sec(50, 1_000_000) - 50.0).abs() < 1e-12);
+        assert!((rate_per_sec(1, 500_000) - 2.0).abs() < 1e-12);
+    }
 
     #[test]
     fn mean_and_std() {

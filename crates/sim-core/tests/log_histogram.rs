@@ -1,0 +1,102 @@
+//! Property-based tests for [`sim_core::LogHistogram`]: percentile
+//! queries against a naive sorted-vec oracle, and monotonicity of the
+//! quantile chain p50 ≤ p90 ≤ p99 ≤ max.
+
+use proptest::prelude::*;
+
+use sim_core::LogHistogram;
+
+/// Nearest-rank percentile over the raw samples — the oracle the
+/// histogram's bucketed estimate must track.
+fn oracle_percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// One bucket spans the ratio 2^(1/16), so a bucket's geometric
+/// midpoint is within 2^(1/32) ≈ 1.022 of every sample in it.
+const BUCKET_TOL: f64 = 0.03;
+
+proptest! {
+    /// Every percentile estimate lands within one bucket's relative
+    /// error of the nearest-rank oracle on the raw samples.
+    #[test]
+    fn percentiles_track_sorted_vec_oracle(
+        samples in proptest::collection::vec(1e-6f64..1e12, 1..400),
+        qs in proptest::collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        for &q in &qs {
+            let got = h.percentile(q).expect("non-empty");
+            let want = oracle_percentile(&sorted, q);
+            let rel = (got / want - 1.0).abs();
+            prop_assert!(
+                rel <= BUCKET_TOL,
+                "q={q}: histogram {got} vs oracle {want} (rel err {rel:.4})"
+            );
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), Some(sorted[0]));
+        prop_assert_eq!(h.max(), Some(*sorted.last().unwrap()));
+    }
+
+    /// p50 ≤ p90 ≤ p99 ≤ max for arbitrary sample sets, including
+    /// zeros and negatives (which share the zero bucket).
+    #[test]
+    fn quantile_chain_is_monotone(
+        samples in proptest::collection::vec(-10.0f64..1e9, 1..400),
+    ) {
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let p50 = h.percentile(0.50).expect("non-empty");
+        let p90 = h.percentile(0.90).expect("non-empty");
+        let p99 = h.percentile(0.99).expect("non-empty");
+        let max = h.max().expect("non-empty");
+        prop_assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        prop_assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        prop_assert!(p99 <= max, "p99 {p99} > max {max}");
+    }
+
+    /// Splitting a sample set across workers and merging gives the
+    /// same histogram as recording everything in one, wherever the
+    /// split falls.
+    #[test]
+    fn merge_is_split_invariant(
+        samples in proptest::collection::vec(1e-3f64..1e9, 2..200),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((samples.len() as f64 * split_frac) as usize).min(samples.len());
+        let mut a = LogHistogram::new();
+        for &s in &samples[..split] {
+            a.record(s);
+        }
+        let mut b = LogHistogram::new();
+        for &s in &samples[split..] {
+            b.record(s);
+        }
+        a.merge(&b);
+        let mut whole = LogHistogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        // Float summation order differs between the split and whole
+        // paths, so `sum` may drift in the last ulp; everything
+        // rank-based must match exactly.
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert_eq!(a.min(), whole.min());
+        prop_assert_eq!(a.max(), whole.max());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(a.percentile(q), whole.percentile(q), "q={}", q);
+        }
+        let rel = (a.sum() / whole.sum() - 1.0).abs();
+        prop_assert!(rel < 1e-12, "sums diverge: {} vs {}", a.sum(), whole.sum());
+    }
+}
