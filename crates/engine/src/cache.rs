@@ -293,6 +293,7 @@ mod tests {
             frames_shown: 6,
             frames_dropped: 7,
             sched_dropped: 8,
+            battery_remaining: -1.0,
         }
     }
 

@@ -10,8 +10,12 @@
 //!
 //! Results land in a slot vector indexed by submission order, so output
 //! is a pure function of the specs — never of worker count or of which
-//! worker finished first. Cache and journal writes happen only on the
-//! collector (calling) thread; workers just simulate and send.
+//! worker finished first. Cache and journal writes happen only on a
+//! dedicated drainer thread fed by a *bounded* channel; workers just
+//! simulate and send. The bound keeps completed-but-unwritten results
+//! from piling up faster than the disk absorbs them, and the dedicated
+//! drainer means collection overlaps submission instead of serializing
+//! behind it (the ROADMAP drain-stage fix).
 //!
 //! # Failure containment
 //!
@@ -32,9 +36,9 @@
 //! a fault-free run.
 
 use std::path::PathBuf;
-use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
+use crossbeam::channel;
 use crossbeam::deque::{Injector, Steal};
 use obs::{PolicyMetrics, RunMetrics, WorkerMetrics};
 
@@ -234,7 +238,7 @@ pub struct Engine {
 }
 
 /// Best-effort text from a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -265,6 +269,11 @@ impl Engine {
                 .map(|n| n.get())
                 .unwrap_or(1)
         }
+    }
+
+    /// Directory a batch's metrics artifacts land in.
+    pub(crate) fn metrics_dir(&self, batch: &str) -> PathBuf {
+        self.state_root().join(batch)
     }
 
     /// Root directory for cache and journal state.
@@ -375,8 +384,78 @@ impl Engine {
             for job in pending {
                 queue.push(job);
             }
-            let (tx, rx) = mpsc::channel::<(usize, u32, Result<JobResult, String>)>();
+            // Bounded results channel: workers block (briefly) instead
+            // of piling completed results into unbounded memory when
+            // the drainer's disk writes fall behind.
+            let (tx, rx) = channel::bounded::<(usize, u32, Result<JobResult, String>)>(workers * 4);
+            let progress = self.config.progress;
             let scope_outcome = crossbeam::thread::scope(|s| {
+                // Dedicated drainer: the only thread touching disk or
+                // slots, running concurrently with every worker so
+                // collection overlaps simulation.
+                let drainer = {
+                    let cache = &cache;
+                    let specs = &specs;
+                    let faults = &faults;
+                    let mut slots = slots;
+                    let mut journal = journal;
+                    let reused = journal_hits + cache_hits;
+                    s.spawn(move |_| {
+                        let drain_span = obs::span::enter("drain");
+                        let mut done = 0usize;
+                        let mut last_report = Instant::now();
+                        for (i, attempts, outcome) in rx.iter() {
+                            let spec = &specs[i];
+                            match outcome {
+                                Ok(result) => {
+                                    if let Some(cache) = cache {
+                                        let _s = obs::span::enter("cache_write");
+                                        if let Err(e) = cache.store_with(spec, &result, faults) {
+                                            obs::warn!(
+                                                "engine: cache write failed for {}: {e}",
+                                                spec.key()
+                                            );
+                                        }
+                                    }
+                                    if let Some(j) = &mut journal {
+                                        let _s = obs::span::enter("journal_append");
+                                        if let Err(e) = j.record_with(spec.key(), &result, faults) {
+                                            obs::warn!("engine: journal write failed: {e}");
+                                        }
+                                    }
+                                    slots[i] = Some(Ok(result));
+                                }
+                                Err(message) => {
+                                    let failure = JobFailure {
+                                        index: i,
+                                        key: spec.key(),
+                                        label: spec.label(),
+                                        attempts,
+                                        message,
+                                    };
+                                    obs::error!("engine: {failure}");
+                                    slots[i] = Some(Err(failure));
+                                }
+                            }
+                            done += 1;
+                            if progress
+                                && (done == to_run
+                                    || last_report.elapsed() >= Duration::from_millis(500))
+                            {
+                                last_report = Instant::now();
+                                let rate = done as f64 / started.elapsed().as_secs_f64().max(1e-9);
+                                let eta = (to_run - done) as f64 / rate.max(1e-9);
+                                obs::info!(
+                                    "[{batch}] {done}/{to_run} simulated \
+                                     ({reused} reused) — {rate:.1} cells/s, ETA {eta:.0}s",
+                                );
+                            }
+                        }
+                        drop(drain_span);
+                        (slots, journal, obs::span::drain())
+                    })
+                };
+
                 let mut handles = Vec::with_capacity(workers);
                 for _ in 0..workers {
                     let tx = tx.clone();
@@ -457,60 +536,6 @@ impl Engine {
                 }
                 drop(tx);
 
-                // Collector: the only thread touching disk or slots.
-                let drain_span = obs::span::enter("drain");
-                let mut done = 0usize;
-                let mut last_report = Instant::now();
-                for (i, attempts, outcome) in rx {
-                    let spec = &specs[i];
-                    match outcome {
-                        Ok(result) => {
-                            if let Some(cache) = &cache {
-                                let _s = obs::span::enter("cache_write");
-                                if let Err(e) = cache.store_with(spec, &result, &faults) {
-                                    obs::warn!(
-                                        "engine: cache write failed for {}: {e}",
-                                        spec.key()
-                                    );
-                                }
-                            }
-                            if let Some(j) = &mut journal {
-                                let _s = obs::span::enter("journal_append");
-                                if let Err(e) = j.record_with(spec.key(), &result, &faults) {
-                                    obs::warn!("engine: journal write failed: {e}");
-                                }
-                            }
-                            slots[i] = Some(Ok(result));
-                        }
-                        Err(message) => {
-                            let failure = JobFailure {
-                                index: i,
-                                key: spec.key(),
-                                label: spec.label(),
-                                attempts,
-                                message,
-                            };
-                            obs::error!("engine: {failure}");
-                            slots[i] = Some(Err(failure));
-                        }
-                    }
-                    done += 1;
-                    if self.config.progress
-                        && (done == to_run || last_report.elapsed() >= Duration::from_millis(500))
-                    {
-                        last_report = Instant::now();
-                        let rate = done as f64 / started.elapsed().as_secs_f64().max(1e-9);
-                        let eta = (to_run - done) as f64 / rate.max(1e-9);
-                        obs::info!(
-                            "[{batch}] {done}/{to_run} simulated \
-                             ({skipped} reused) — {rate:.1} cells/s, ETA {eta:.0}s",
-                            skipped = journal_hits + cache_hits,
-                        );
-                    }
-                }
-
-                drop(drain_span);
-
                 // Per-worker error status: a worker that died outside
                 // the catch-unwind fence (an engine bug, not a job
                 // panic) is reported instead of aborting the process.
@@ -518,13 +543,13 @@ impl Engine {
                 // for merging.
                 let mut dead_workers = 0usize;
                 let mut merged = WorkerMetrics::new();
-                let mut worker_spans: Vec<(String, obs::ThreadSpans)> = Vec::new();
+                let mut thread_spans: Vec<(String, obs::ThreadSpans)> = Vec::new();
                 for (w, h) in handles.into_iter().enumerate() {
                     match h.join() {
                         Ok((wm, spans)) => {
                             merged.merge_from(&wm);
                             if !spans.is_empty() {
-                                worker_spans.push((format!("worker-{w}"), spans));
+                                thread_spans.push((format!("worker-{w}"), spans));
                             }
                         }
                         Err(payload) => {
@@ -536,24 +561,27 @@ impl Engine {
                         }
                     }
                 }
-                (dead_workers, merged, worker_spans)
+
+                // Every worker (and the original tx) is gone, so the
+                // results channel is disconnected and the drainer's
+                // receive loop has terminated.
+                let (slots, journal, drainer_spans) =
+                    drainer.join().expect("drainer thread must not panic");
+                if !drainer_spans.is_empty() {
+                    thread_spans.insert(0, ("drainer".to_string(), drainer_spans));
+                }
+                (slots, journal, dead_workers, merged, thread_spans)
             });
-            let dead_workers = match scope_outcome {
-                Ok((n, merged, spans)) => {
-                    worker_totals = merged;
-                    worker_spans = spans;
-                    n
-                }
-                Err(payload) => {
-                    // Unreachable with joined handles, but never abort
-                    // the batch over it.
-                    obs::error!(
-                        "engine: worker scope failed: {}",
-                        panic_message(payload.as_ref())
-                    );
-                    1
-                }
-            };
+            // The vendored scope only errors by propagating a panic
+            // from an unjoined thread; every thread above is joined,
+            // so this arm is unreachable — resume rather than invent
+            // a recovery that can't be exercised.
+            let (s, j, dead_workers, merged, spans) =
+                scope_outcome.unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            slots = s;
+            journal = j;
+            worker_totals = merged;
+            worker_spans = spans;
             // A dead worker's in-flight cell never reported; fail any
             // still-empty slot rather than pretending it ran.
             if dead_workers > 0 {
@@ -723,6 +751,7 @@ impl Engine {
             voltage_switches,
             wall_us: stats.elapsed_us,
             sim_us: worker_totals.counter("sim_us"),
+            peak_rss_bytes: obs::peak_rss_bytes().unwrap_or(0),
             per_policy: per_policy.into_values().collect(),
             ..Default::default()
         };

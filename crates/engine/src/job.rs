@@ -7,7 +7,9 @@
 //! produce bit-identical [`JobResult`]s — the invariant behind both the
 //! on-disk cache and the 1-vs-N-worker determinism guarantee.
 
-use itsy_hw::{ClockTable, DeviceSet, StepIndex};
+use itsy_hw::{
+    battery::BatteryParams, Battery, ClockTable, DeviceSet, PowerModel, PowerParams, StepIndex,
+};
 use kernel_sim::{Kernel, KernelConfig, Machine};
 use policies::PolicyDesc;
 use sim_core::SimDuration;
@@ -99,6 +101,68 @@ impl WorkloadSpec {
     }
 }
 
+/// Per-device hardware variation, in exact integer units.
+///
+/// Fleet populations spread devices around the stock Itsy: silicon
+/// leakage and board draw differ a few percent per unit, batteries age,
+/// and devices start runs at arbitrary charge. All fields are integers
+/// (parts-per-million scale factors, milliwatt-hours, percent) so the
+/// spec stays `Eq`, the canonical encoding is byte-stable, and a
+/// device's hardware derives exactly from its generator draws with no
+/// float formatting in the job key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwSpec {
+    /// Core-power scale in ppm (`1_000_000` = stock).
+    pub core_ppm: u32,
+    /// Base/peripheral-power scale in ppm (`1_000_000` = stock).
+    pub base_ppm: u32,
+    /// Battery capacity in mWh; `0` means mains-powered (no battery).
+    pub battery_mwh: u32,
+    /// Initial battery charge in percent of capacity (ignored when
+    /// mains-powered).
+    pub charge_pct: u32,
+}
+
+impl HwSpec {
+    /// The stock mains-powered Itsy every pre-fleet experiment ran on.
+    pub const STOCK: HwSpec = HwSpec {
+        core_ppm: 1_000_000,
+        base_ppm: 1_000_000,
+        battery_mwh: 0,
+        charge_pct: 100,
+    };
+
+    /// Stable canonical tag for content addressing.
+    pub fn canonical(&self) -> String {
+        format!(
+            "{},{},{},{}",
+            self.core_ppm, self.base_ppm, self.battery_mwh, self.charge_pct
+        )
+    }
+
+    /// The power model this hardware exhibits.
+    pub fn power_model(&self) -> PowerModel {
+        PowerModel::new(PowerParams::default().scaled_ppm(self.core_ppm, self.base_ppm))
+    }
+
+    /// The battery this hardware carries, if battery-powered.
+    pub fn battery(&self) -> Option<Battery> {
+        (self.battery_mwh > 0).then(|| {
+            let params = BatteryParams {
+                nominal_wh: self.battery_mwh as f64 / 1_000.0,
+                ..BatteryParams::default()
+            };
+            Battery::with_charge_fraction(params, self.charge_pct as f64 / 100.0)
+        })
+    }
+}
+
+impl Default for HwSpec {
+    fn default() -> Self {
+        HwSpec::STOCK
+    }
+}
+
 /// One simulator run, fully described.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
@@ -116,6 +180,9 @@ pub struct JobSpec {
     pub seed: u64,
     /// Deadline-miss tolerance used when summarizing the run.
     pub tolerance: SimDuration,
+    /// The device hardware (stock mains-powered Itsy unless a fleet
+    /// generator spread it).
+    pub hw: HwSpec,
 }
 
 impl JobSpec {
@@ -130,12 +197,19 @@ impl JobSpec {
             initial_step: 10,
             seed,
             tolerance: SimDuration::from_millis(100),
+            hw: HwSpec::STOCK,
         }
     }
 
     /// Overrides the scheduling quantum.
     pub fn with_quantum(mut self, quantum: SimDuration) -> Self {
         self.quantum = Some(quantum);
+        self
+    }
+
+    /// Overrides the device hardware.
+    pub fn with_hw(mut self, hw: HwSpec) -> Self {
+        self.hw = hw;
         self
     }
 
@@ -151,7 +225,7 @@ impl JobSpec {
     /// cached results.
     pub fn canonical(&self) -> String {
         format!(
-            "v{};wl={};policy={};dur_us={};quantum_us={};step={};seed={};tol_us={}",
+            "v{};wl={};policy={};dur_us={};quantum_us={};step={};seed={};tol_us={};hw={}",
             SIM_VERSION,
             self.workload.canonical(),
             self.policy.canonical(),
@@ -160,6 +234,7 @@ impl JobSpec {
             self.initial_step,
             self.seed,
             self.tolerance.as_micros(),
+            self.hw.canonical(),
         )
     }
 
@@ -196,7 +271,13 @@ impl JobSpec {
         if let Some(q) = self.quantum {
             config.quantum = q;
         }
-        let machine = Machine::itsy(self.initial_step, self.workload.devices());
+        let mut machine = Machine::itsy(self.initial_step, self.workload.devices());
+        if self.hw != HwSpec::STOCK {
+            machine.power = self.hw.power_model();
+        }
+        if let Some(battery) = self.hw.battery() {
+            machine = machine.with_battery(battery);
+        }
         let mut kernel = Kernel::new(machine, config);
         self.workload.spawn_into(&mut kernel, self.seed);
         kernel.install_policy(self.policy.build(ClockTable::sa1100()));
@@ -227,6 +308,7 @@ impl JobSpec {
             frames_shown,
             frames_dropped,
             sched_dropped: report.sched_log.dropped(),
+            battery_remaining: report.battery_remaining.unwrap_or(-1.0),
         };
         (result, report.trace)
     }
@@ -237,7 +319,10 @@ impl JobSpec {
 ///
 /// v2: [`JobResult`] gained `sched_dropped`, changing the cache entry
 /// payload format.
-pub const SIM_VERSION: u32 = 2;
+///
+/// v3: [`JobSpec`] gained the [`HwSpec`] hardware field (fleet
+/// per-device variation) and [`JobResult`] gained `battery_remaining`.
+pub const SIM_VERSION: u32 = 3;
 
 /// The summarized outcome of one run — everything the experiment
 /// harnesses consume, in cache-friendly plain-number form.
@@ -268,6 +353,9 @@ pub struct JobResult {
     /// Scheduler-log records dropped to the log's capacity bound
     /// (0 when the log is unbounded or disabled).
     pub sched_dropped: u64,
+    /// Battery charge remaining at the end of the run, as a fraction of
+    /// capacity; `-1.0` when the device is mains-powered (no battery).
+    pub battery_remaining: f64,
 }
 
 impl JobResult {
@@ -280,7 +368,7 @@ impl JobResult {
             "energy_j={:016x};core_energy_j={:016x};mean_freq_mhz={:016x};\
              mean_utilization={:016x};misses={};max_lateness_us={};clock_switches={};\
              voltage_switches={};final_step={};frames_shown={};frames_dropped={};\
-             sched_dropped={}",
+             sched_dropped={};battery_remaining={:016x}",
             self.energy_j.to_bits(),
             self.core_energy_j.to_bits(),
             self.mean_freq_mhz.to_bits(),
@@ -293,6 +381,7 @@ impl JobResult {
             self.frames_shown,
             self.frames_dropped,
             self.sched_dropped,
+            self.battery_remaining.to_bits(),
         )
     }
 
@@ -323,6 +412,7 @@ impl JobResult {
             frames_shown: u64_field("frames_shown")?,
             frames_dropped: u64_field("frames_dropped")?,
             sched_dropped: u64_field("sched_dropped")?,
+            battery_remaining: f64_field("battery_remaining")?,
         })
     }
 }
@@ -353,6 +443,11 @@ mod tests {
         assert_ne!(base.key(), other.key(), "duration is part of the address");
         let other = spec().with_quantum(SimDuration::from_millis(50));
         assert_ne!(base.key(), other.key(), "quantum is part of the address");
+        let other = spec().with_hw(HwSpec {
+            core_ppm: 1_010_000,
+            ..HwSpec::STOCK
+        });
+        assert_ne!(base.key(), other.key(), "hardware is part of the address");
         let mut other = spec();
         other.policy = PolicyDesc::interval(
             PredictorDesc::AvgN(3),
@@ -378,6 +473,7 @@ mod tests {
             frames_shown: 300,
             frames_dropped: 1,
             sched_dropped: 9,
+            battery_remaining: 0.375,
         };
         let decoded = JobResult::decode(&r.encode()).expect("decodes");
         assert_eq!(r, decoded);
@@ -393,5 +489,48 @@ mod tests {
         assert!(r.energy_j > 0.0);
         let r2 = spec().execute();
         assert_eq!(r, r2, "execution is deterministic");
+        // Mains-powered: the battery sentinel reports absence.
+        assert_eq!(r.battery_remaining, -1.0);
+    }
+
+    #[test]
+    fn hw_spread_changes_energy_and_drains_battery() {
+        let stock = spec().execute();
+        let hw = HwSpec {
+            core_ppm: 1_100_000, // +10 % core draw
+            base_ppm: 1_050_000, // +5 % base draw
+            battery_mwh: 3_460,
+            charge_pct: 80,
+        };
+        let spread = spec().with_hw(hw).execute();
+        assert!(
+            spread.energy_j > stock.energy_j,
+            "hotter silicon must burn more: {} vs {}",
+            spread.energy_j,
+            stock.energy_j
+        );
+        // Battery attached at 80 %: drains during the run, stays valid.
+        assert!(
+            spread.battery_remaining > 0.0 && spread.battery_remaining < 0.8,
+            "battery_remaining = {}",
+            spread.battery_remaining
+        );
+        // Same hardware, same result: determinism holds under spread.
+        assert_eq!(spread, spec().with_hw(hw).execute());
+    }
+
+    #[test]
+    fn stock_hw_canonical_is_stable() {
+        assert_eq!(HwSpec::STOCK.canonical(), "1000000,1000000,0,100");
+        assert_eq!(HwSpec::default(), HwSpec::STOCK);
+        assert!(HwSpec::STOCK.battery().is_none());
+        let powered = HwSpec {
+            battery_mwh: 1_730,
+            charge_pct: 50,
+            ..HwSpec::STOCK
+        };
+        let b = powered.battery().expect("battery-powered");
+        assert!((b.remaining_fraction() - 0.5).abs() < 1e-12);
+        assert!((b.params().nominal_wh - 1.73).abs() < 1e-12);
     }
 }

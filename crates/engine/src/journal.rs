@@ -163,6 +163,7 @@ mod tests {
             frames_shown: 0,
             frames_dropped: 0,
             sched_dropped: 0,
+            battery_remaining: -1.0,
         }
     }
 

@@ -33,10 +33,12 @@ pub mod fault;
 pub mod job;
 pub mod journal;
 pub mod key;
+pub mod stream;
 
 pub use cache::{CacheProbe, ResultCache};
 pub use engine::{BatchOutcome, BatchStats, Engine, EngineConfig, JobFailure};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
-pub use job::{JobResult, JobSpec, WorkloadSpec, SIM_VERSION};
+pub use job::{HwSpec, JobResult, JobSpec, WorkloadSpec, SIM_VERSION};
+pub use stream::{StreamOutcome, StreamStats};
 pub use journal::Journal;
 pub use key::ContentKey;

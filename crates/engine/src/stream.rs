@@ -1,0 +1,501 @@
+//! Streaming execution: unbounded job sequences at bounded memory.
+//!
+//! [`Engine::run_batch`] materializes its results — one slot per spec —
+//! which is right for grids of hundreds of cells and fatal for
+//! populations of millions of devices. [`Engine::run_stream`] is the
+//! other regime: specs arrive from a lazy iterator, flow through the
+//! worker pool over *bounded* channels, and results are folded into a
+//! per-worker accumulator the moment they exist, then discarded. Peak
+//! memory is `O(workers × channel capacity + accumulator size)` —
+//! independent of how many devices stream through.
+//!
+//! # Determinism contract
+//!
+//! Which worker simulates which device depends on scheduling, so the
+//! final accumulator is reached by folding an arbitrary partition of
+//! the stream in arbitrary merge order. The caller's fold/merge must
+//! therefore be **order- and partition-independent** — fold into a
+//! commutative-merge structure like [`sim_core::FleetSummary`], whose
+//! integer-exact sketches make any partition merge to byte-identical
+//! state. Under that contract the outcome is bit-identical at any
+//! `--jobs`, which the fleet suite verifies byte-for-byte.
+//!
+//! # What streaming deliberately skips
+//!
+//! No result cache and no journal: a million per-device cache files
+//! would trade the bounded-memory win for an unbounded-disk loss, and
+//! population runs are cheap to re-run *because* they never touch disk.
+//! This also makes stream output trivially identical across cache
+//! hit/miss state — there is no cache to hit. Failure containment is
+//! kept: per-job catch-unwind, seeded fault injection and retries all
+//! work exactly as in batch mode, with failed devices counted (and a
+//! bounded sample of reports retained) rather than accumulated.
+
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use obs::{RunMetrics, WorkerMetrics};
+
+use crate::engine::{panic_message, Engine, JobFailure};
+use crate::fault::{FaultInjector, FaultStats};
+use crate::job::{JobResult, JobSpec};
+
+/// In-flight specs per worker the producer may run ahead by. Small
+/// enough that memory stays flat, large enough that workers never
+/// starve while the producer builds the next spec.
+const SPECS_AHEAD_PER_WORKER: usize = 8;
+
+/// Failure reports retained verbatim; anything beyond is counted in
+/// [`StreamStats::failed`] but not stored (a fully-failing million-
+/// device run must not build a million-entry failure list).
+const MAX_RETAINED_FAILURES: usize = 32;
+
+/// What a streaming run processed and what it cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Devices the generator produced.
+    pub total: u64,
+    /// Devices simulated to completion.
+    pub executed: u64,
+    /// Devices that exhausted their retry budget.
+    pub failed: u64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Worker threads that died outside the catch-unwind fence (engine
+    /// bugs; their in-flight device and local accumulator are lost).
+    pub dead_workers: usize,
+    /// Wall-clock time for the whole stream, µs.
+    pub elapsed_us: u64,
+}
+
+impl StreamStats {
+    /// Completed device simulations per wall-clock second — the number
+    /// the BENCH gate tracks as `fleet_devices_per_sec`.
+    pub fn devices_per_sec(&self) -> f64 {
+        sim_core::rate_per_sec(self.executed, self.elapsed_us)
+    }
+}
+
+/// Accumulated result of one streaming run.
+#[derive(Debug)]
+pub struct StreamOutcome<A> {
+    /// The merged accumulator (worker shards merged in worker order —
+    /// byte-stable only if the caller's merge is order-independent;
+    /// see the module docs).
+    pub acc: A,
+    /// Counts and throughput.
+    pub stats: StreamStats,
+    /// Up to [`MAX_RETAINED_FAILURES`] failure reports, in arrival
+    /// order; `stats.failed` is the true count.
+    pub failures: Vec<JobFailure>,
+    /// Faults the configured plan actually injected.
+    pub faults: FaultStats,
+    /// The run's metrics rollup (written as `metrics.json` when the
+    /// engine config asks for it).
+    pub metrics: RunMetrics,
+    /// Merged per-worker counters and histograms.
+    pub worker_metrics: WorkerMetrics,
+    /// Span profile: producer and drainer threads first, then workers.
+    pub profile: obs::Profile,
+}
+
+impl Engine {
+    /// Streams every spec from `specs` through the worker pool, folding
+    /// each result into a per-worker accumulator and merging the
+    /// shards at the end.
+    ///
+    /// `fold` is called once per completed device with the device's
+    /// stream index, spec and result; `merge` folds one worker's
+    /// accumulator into another. Both must be order-independent for
+    /// deterministic output (module docs). The spec iterator is pulled
+    /// lazily from a producer thread with bounded-channel backpressure:
+    /// the stream never materializes.
+    pub fn run_stream<I, A, F, M>(
+        &self,
+        batch: &str,
+        specs: I,
+        fold: F,
+        merge: M,
+    ) -> StreamOutcome<A>
+    where
+        I: IntoIterator<Item = JobSpec>,
+        I::IntoIter: Send,
+        A: Default + Send,
+        F: Fn(&mut A, u64, &JobSpec, &JobResult) + Sync,
+        M: Fn(&mut A, A),
+    {
+        let started = Instant::now();
+        let faults = FaultInjector::new(self.config().faults);
+        let workers = self.worker_count().max(1);
+        let max_retries = self.config().max_retries;
+        let progress = self.config().progress;
+        let specs = specs.into_iter();
+        let fold = &fold;
+
+        let (spec_tx, spec_rx) = channel::bounded::<(u64, JobSpec)>(workers * SPECS_AHEAD_PER_WORKER);
+        let (tick_tx, tick_rx) = channel::bounded::<Result<(), JobFailure>>(workers * 4);
+
+        let scope_outcome = crossbeam::thread::scope(|s| {
+            let faults = &faults;
+
+            // Producer: walks the generator, blocking whenever the
+            // workers are more than the channel bound behind. This
+            // thread is the only one that ever sees the iterator, so
+            // generation cost never serializes with simulation.
+            let producer = s.spawn(move |_| {
+                let span = obs::span::enter("generate");
+                let mut produced = 0u64;
+                for spec in specs {
+                    if spec_tx.send((produced, spec)).is_err() {
+                        // Every worker is gone (all dead); stop pulling.
+                        break;
+                    }
+                    produced += 1;
+                }
+                drop(span);
+                (produced, obs::span::drain())
+            });
+
+            // Drainer: counts completions and keeps a bounded sample of
+            // failures. Separate from the workers so progress keeps
+            // flowing while every worker is mid-simulation.
+            let drainer = s.spawn(move |_| {
+                let span = obs::span::enter("drain");
+                let mut executed = 0u64;
+                let mut failed = 0u64;
+                let mut failures = Vec::new();
+                let mut last_report = Instant::now();
+                for tick in tick_rx.iter() {
+                    match tick {
+                        Ok(()) => executed += 1,
+                        Err(failure) => {
+                            failed += 1;
+                            obs::error!("engine: {failure}");
+                            if failures.len() < MAX_RETAINED_FAILURES {
+                                failures.push(failure);
+                            }
+                        }
+                    }
+                    if progress && last_report.elapsed() >= Duration::from_millis(500) {
+                        last_report = Instant::now();
+                        let done = executed + failed;
+                        let rate = done as f64 / started.elapsed().as_secs_f64().max(1e-9);
+                        obs::info!("[{batch}] {done} devices streamed — {rate:.0} devices/s");
+                    }
+                }
+                drop(span);
+                (executed, failed, failures, obs::span::drain())
+            });
+
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let spec_rx = spec_rx.clone();
+                let tick_tx = tick_tx.clone();
+                handles.push(s.spawn(move |_| {
+                    let mut acc = A::default();
+                    let mut wm = WorkerMetrics::new();
+                    while let Ok((index, spec)) = spec_rx.recv() {
+                        let _job_span = obs::span::enter("job");
+                        let job_started = Instant::now();
+                        let key = spec.key();
+                        let mut attempt = 0u32;
+                        let outcome = loop {
+                            attempt += 1;
+                            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                if faults.worker_panic(key, attempt) {
+                                    panic!(
+                                        "injected fault: worker panic \
+                                         (job {key}, attempt {attempt})"
+                                    );
+                                }
+                                spec.execute()
+                            }));
+                            match run {
+                                Ok(r) => break Ok(r),
+                                Err(payload) if attempt > max_retries => {
+                                    break Err(panic_message(payload.as_ref()))
+                                }
+                                Err(_) => {
+                                    wm.inc("retries");
+                                    obs::debug!("engine: job_retry key={key} attempt={attempt}");
+                                }
+                            }
+                        };
+                        let tick = match outcome {
+                            Ok(result) => {
+                                wm.inc("jobs_executed");
+                                wm.add("sim_us", spec.duration.as_micros());
+                                wm.observe("utilization", result.mean_utilization);
+                                fold(&mut acc, index, &spec, &result);
+                                Ok(())
+                            }
+                            Err(message) => Err(JobFailure {
+                                index: index as usize,
+                                key,
+                                label: spec.label(),
+                                attempts: attempt,
+                                message,
+                            }),
+                        };
+                        wm.observe_log(
+                            "job_latency_us",
+                            job_started.elapsed().as_secs_f64() * 1e6,
+                        );
+                        if tick_tx.send(tick).is_err() {
+                            break;
+                        }
+                    }
+                    (acc, wm, obs::span::drain())
+                }));
+            }
+            // Only worker clones may keep the channels open: workers
+            // finish when the producer exhausts the stream, the drainer
+            // when the last worker hangs up.
+            drop(spec_rx);
+            drop(tick_tx);
+
+            let mut acc = A::default();
+            let mut merged_wm = WorkerMetrics::new();
+            let mut dead_workers = 0usize;
+            let mut thread_spans: Vec<(String, obs::ThreadSpans)> = Vec::new();
+            for (w, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok((worker_acc, wm, spans)) => {
+                        merge(&mut acc, worker_acc);
+                        merged_wm.merge_from(&wm);
+                        if !spans.is_empty() {
+                            thread_spans.push((format!("worker-{w}"), spans));
+                        }
+                    }
+                    Err(payload) => {
+                        dead_workers += 1;
+                        obs::error!(
+                            "engine: stream worker died: {}",
+                            panic_message(payload.as_ref())
+                        );
+                    }
+                }
+            }
+            let (total, producer_spans) = producer.join().expect("producer must not panic");
+            let (executed, failed, failures, drainer_spans) =
+                drainer.join().expect("drainer must not panic");
+            for (name, spans) in [("drainer", drainer_spans), ("producer", producer_spans)] {
+                if !spans.is_empty() {
+                    thread_spans.insert(0, (name.to_string(), spans));
+                }
+            }
+            (
+                acc,
+                total,
+                executed,
+                failed,
+                failures,
+                dead_workers,
+                merged_wm,
+                thread_spans,
+            )
+        });
+        let (acc, total, executed, failed, failures, dead_workers, worker_totals, thread_spans) =
+            scope_outcome.unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+
+        let stats = StreamStats {
+            total,
+            executed,
+            failed,
+            workers,
+            dead_workers,
+            elapsed_us: started.elapsed().as_micros() as u64,
+        };
+        if progress {
+            obs::info!(
+                "[{batch}] stream done: {} devices in {:.1}s on {} worker(s) — \
+                 {:.0} devices/s, {} failed",
+                stats.total,
+                stats.elapsed_us as f64 / 1e6,
+                stats.workers,
+                stats.devices_per_sec(),
+                stats.failed,
+            );
+        }
+
+        // Profile: scoop the calling thread's spans too (the driver's
+        // own stages), then the stream's threads.
+        let mut profile = obs::Profile::default();
+        let caller_spans = obs::span::drain();
+        if !caller_spans.is_empty() {
+            profile.threads.push(("caller".to_string(), caller_spans));
+        }
+        profile.threads.extend(thread_spans);
+
+        let mut metrics = RunMetrics {
+            batch: batch.to_string(),
+            total: stats.total,
+            executed: stats.executed,
+            failed: stats.failed,
+            retries: worker_totals.counter("retries"),
+            workers: stats.workers as u64,
+            wall_us: stats.elapsed_us,
+            sim_us: worker_totals.counter("sim_us"),
+            peak_rss_bytes: obs::peak_rss_bytes().unwrap_or(0),
+            ..Default::default()
+        };
+        metrics.set_job_latencies(worker_totals.log_histogram("job_latency_us"));
+        if !profile.is_empty() {
+            let tree = profile.tree();
+            metrics.set_stages(
+                tree.stage_self_totals()
+                    .iter()
+                    .map(|(name, &ns)| (name.as_str(), ns)),
+            );
+        }
+        metrics.finalize();
+
+        if self.config().write_metrics {
+            let dir = self.metrics_dir(batch);
+            let write = std::fs::create_dir_all(&dir)
+                .and_then(|()| std::fs::write(dir.join("metrics.json"), metrics.to_json()));
+            if let Err(e) = write {
+                obs::warn!("engine: could not write metrics.json for `{batch}`: {e}");
+            }
+            if !profile.is_empty() {
+                let json = obs::export_spans_chrome_json(&profile);
+                if let Err(e) = std::fs::write(dir.join("profile.trace.json"), json) {
+                    obs::warn!("engine: could not write profile.trace.json for `{batch}`: {e}");
+                }
+            }
+        }
+
+        StreamOutcome {
+            acc,
+            stats,
+            failures,
+            faults: faults.stats(),
+            metrics,
+            worker_metrics: worker_totals,
+            profile,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::fault::FaultPlan;
+    use crate::job::WorkloadSpec;
+    use policies::PolicyDesc;
+    use sim_core::FleetSummary;
+    use workloads::Benchmark;
+
+    /// A lazy stream of `n` distinct half-second jobs.
+    fn spec_stream(n: u64) -> impl Iterator<Item = JobSpec> + Send {
+        (0..n).map(|i| {
+            let mut spec = JobSpec::new(
+                WorkloadSpec::Benchmark(Benchmark::Web),
+                PolicyDesc::best_from_paper(),
+                1,
+                1000 + i,
+            );
+            spec.duration = sim_core::SimDuration::from_millis(500);
+            spec
+        })
+    }
+
+    fn summarize(config: EngineConfig, n: u64) -> StreamOutcome<FleetSummary> {
+        Engine::new(config).run_stream(
+            "stream-test",
+            spec_stream(n),
+            |acc: &mut FleetSummary, _i, _spec, r| {
+                acc.record("energy_j", r.energy_j);
+                acc.record("misses", r.misses as f64);
+                acc.bump_devices();
+            },
+            |into, from| into.merge(&from),
+        )
+    }
+
+    #[test]
+    fn stream_folds_every_device_exactly_once() {
+        let out = summarize(EngineConfig::hermetic(), 12);
+        assert_eq!(out.stats.total, 12);
+        assert_eq!(out.stats.executed, 12);
+        assert_eq!(out.stats.failed, 0);
+        assert_eq!(out.acc.devices(), 12);
+        assert_eq!(out.acc.metric("energy_j").unwrap().count(), 12);
+        assert_eq!(out.metrics.executed, 12);
+        assert!(out.metrics.peak_rss_bytes > 0, "RSS probe wired in");
+    }
+
+    #[test]
+    fn stream_is_byte_identical_across_worker_counts() {
+        let one = summarize(EngineConfig::hermetic(), 16);
+        for jobs in [4, 8] {
+            let many = summarize(
+                EngineConfig {
+                    jobs,
+                    ..EngineConfig::hermetic()
+                },
+                16,
+            );
+            assert_eq!(
+                one.acc.encode(),
+                many.acc.encode(),
+                "jobs=1 vs jobs={jobs} must merge to identical bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_survives_injected_panics_bit_for_bit() {
+        let clean = summarize(EngineConfig::hermetic(), 10);
+        let chaotic = summarize(
+            EngineConfig {
+                jobs: 4,
+                faults: Some(FaultPlan {
+                    panic: 1.0,
+                    max_panics: 2,
+                    ..FaultPlan::default()
+                }),
+                ..EngineConfig::hermetic()
+            },
+            10,
+        );
+        assert_eq!(chaotic.stats.failed, 0, "retries absorb the chaos");
+        assert_eq!(chaotic.faults.panics, 2 * 10);
+        assert_eq!(
+            clean.acc.encode(),
+            chaotic.acc.encode(),
+            "chaos with retries must not change bits"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_count_failures_without_accumulating() {
+        let out = summarize(
+            EngineConfig {
+                jobs: 2,
+                max_retries: 0,
+                faults: Some(FaultPlan {
+                    panic: 1.0,
+                    max_panics: u32::MAX,
+                    ..FaultPlan::default()
+                }),
+                ..EngineConfig::hermetic()
+            },
+            50,
+        );
+        assert_eq!(out.stats.failed, 50);
+        assert_eq!(out.stats.executed, 0);
+        assert_eq!(out.acc.devices(), 0, "failed devices are not folded");
+        // Failure retention is bounded even when everything fails.
+        assert_eq!(out.failures.len(), MAX_RETAINED_FAILURES);
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let out = summarize(EngineConfig::hermetic(), 0);
+        assert_eq!(out.stats.total, 0);
+        assert_eq!(out.acc, FleetSummary::new());
+        assert_eq!(out.stats.devices_per_sec(), 0.0);
+    }
+}

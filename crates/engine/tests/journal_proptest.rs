@@ -51,6 +51,7 @@ fn result_from(seed: u64) -> JobResult {
         frames_shown: u(10),
         frames_dropped: u(11),
         sched_dropped: u(12),
+        battery_remaining: f(13),
     }
 }
 

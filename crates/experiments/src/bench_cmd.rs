@@ -1,6 +1,6 @@
 //! `repro bench`: a self-contained performance-regression harness.
 //!
-//! One invocation measures four numbers that bracket the repo's
+//! One invocation measures five numbers that bracket the repo's
 //! performance envelope and writes them as `BENCH_<n>.json` (plus a
 //! `BENCH_latest.json` alias for tooling):
 //!
@@ -15,9 +15,13 @@
 //!   back-to-back on the calling thread: simulator-core throughput
 //!   with no engine around it;
 //! - **trace export** — the `avgn` scenario's structured-event
-//!   export, rated in events per second.
+//!   export, rated in events per second;
+//! - **fleet stream** — a seeded device population pushed through
+//!   [`engine::Engine::run_stream`], rated in devices per second (the
+//!   streaming path's end-to-end throughput, including population
+//!   generation and sketch folding).
 //!
-//! The report's flat `"gate"` object holds the four throughput
+//! The report's flat `"gate"` object holds the five throughput
 //! numbers. `repro bench --baseline <file>` re-reads a previous
 //! report's gate and fails (exit code 1) when any metric regresses
 //! more than `--bench-tolerance` percent — wall-clock throughput is
@@ -65,6 +69,8 @@ pub struct BenchConfig {
     pub warm_rounds: u32,
     /// Simulated seconds for the trace-export phase.
     pub trace_secs: u64,
+    /// Devices streamed through the fleet phase (1-second runs each).
+    pub fleet_devices: u64,
     /// Engine state root. `None` uses (and afterwards removes) a
     /// process-scoped temp directory, guaranteeing a cold start.
     pub state_root: Option<PathBuf>,
@@ -81,6 +87,7 @@ impl Default for BenchConfig {
             warm_reps: 5,
             warm_rounds: 50,
             trace_secs: 3,
+            fleet_devices: 2_000,
             state_root: None,
         }
     }
@@ -182,12 +189,18 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
         .expect("avgn is a known scenario");
     let trace_us = trace_started.elapsed().as_micros() as u64;
 
+    // Phase 5: fleet stream — population throughput through
+    // `run_stream` (no cache involved; streaming skips it).
+    let population = fleet::PopulationConfig::new(cfg.fleet_devices, cfg.seed);
+    let fleet_out = fleet::run(&Engine::new(engine_config()), "bench-fleet", &population);
+
     if scratch {
         let _ = std::fs::remove_dir_all(&root);
     }
 
     let gate: BTreeMap<String, f64> = [
         ("cold_cells_per_sec", cold.stats.cells_per_sec()),
+        ("fleet_devices_per_sec", fleet_out.stats.devices_per_sec()),
         (
             "warm_cells_per_sec",
             rate_per_sec(cold.stats.total as u64, warm_plain_us),
@@ -297,6 +310,21 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
         gate["trace_events_per_sec"]
     );
     json.push_str("  },\n");
+    json.push_str("  \"fleet\": {\n");
+    let _ = writeln!(json, "    \"devices\": {},", fleet_out.stats.total);
+    let _ = writeln!(json, "    \"executed\": {},", fleet_out.stats.executed);
+    let _ = writeln!(json, "    \"wall_us\": {},", fleet_out.stats.elapsed_us);
+    let _ = writeln!(
+        json,
+        "    \"peak_rss_bytes\": {},",
+        fleet_out.metrics.peak_rss_bytes
+    );
+    let _ = writeln!(
+        json,
+        "    \"devices_per_sec\": {:.6}",
+        gate["fleet_devices_per_sec"]
+    );
+    json.push_str("  },\n");
     json.push_str("  \"gate\": {\n");
     for (i, (k, v)) in gate.iter().enumerate() {
         let comma = if i + 1 < gate.len() { "," } else { "" };
@@ -333,6 +361,14 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
         trace.events,
         trace_us as f64 / 1e3,
         gate["trace_events_per_sec"],
+    );
+    let _ = writeln!(
+        summary,
+        "fleet: {} devices in {:.2} s -> {:.0} devices/s (peak RSS {:.1} MiB)",
+        fleet_out.stats.total,
+        fleet_out.stats.elapsed_us as f64 / 1e6,
+        gate["fleet_devices_per_sec"],
+        fleet_out.metrics.peak_rss_bytes as f64 / (1024.0 * 1024.0),
     );
 
     BenchReport {
@@ -447,6 +483,7 @@ mod tests {
             warm_reps: 1,
             warm_rounds: 1,
             trace_secs: 1,
+            fleet_devices: 8,
             ..BenchConfig::default()
         }
     }
@@ -460,13 +497,14 @@ mod tests {
             "\"warm_sweep\"",
             "\"hot_loop\"",
             "\"trace_export\"",
+            "\"fleet\"",
             "\"gate\"",
             "\"profiler_overhead_pct\"",
             "\"stages\"",
         ] {
             assert!(report.json.contains(section), "missing {section}");
         }
-        assert_eq!(report.gate.len(), 4);
+        assert_eq!(report.gate.len(), 5);
         for (metric, &value) in &report.gate {
             assert!(value > 0.0, "{metric} = {value}");
         }

@@ -4,11 +4,12 @@
 //! repro [--seed N] [--jobs N] [--resume] [--no-cache] [--quiet | -v]
 //!       [--sweep-secs N] [--trace-secs N] [--fault-plan SPEC] [--profile]
 //!       [--baseline FILE] [--bench-tolerance PCT] [--bench-iters N]
+//!       [--devices N] [--device-secs N]
 //!       [all | fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!        table1 table2 table3 battery sa2 cost
 //!        sweep sweep-full deadline ablation govil elastic
 //!        tracedriven timescale summary oracle memprobe modern spectrum
-//!        trace bench]
+//!        trace bench fleet]
 //! ```
 //!
 //! Results are printed (tables + ASCII charts) and saved as CSV under
@@ -50,9 +51,19 @@
 //!   `profile.trace.json` flame chart next to it, and `trace` exports
 //!   grow a wall-clock span track alongside the sim-time tracks.
 //!
+//! `fleet` is the streaming population simulation (see EXPERIMENTS.md):
+//! `--devices N` devices (default 1000) are generated lazily from
+//! `--seed`, each a hardware/workload/charge variation of the stock
+//! Itsy, simulated for `--device-secs` (default 1) simulated seconds,
+//! and folded into mergeable sketches at bounded memory. It writes
+//! `results/fleet/population_summary.txt` — canonical bytes that are
+//! identical for any `--jobs` and any cache state — plus a `fleet.csv`
+//! digest and the usual `metrics.json` (including `peak_rss_bytes`).
+//!
 //! `bench` is the performance-regression harness (see EXPERIMENTS.md):
 //! it times a cold sweep, a warm (all-cache-hit) sweep, a single-thread
-//! simulator hot loop, and a trace export, then writes `BENCH_<n>.json`
+//! simulator hot loop, a trace export, and a fleet stream
+//! (`fleet_devices_per_sec` in the gate), then writes `BENCH_<n>.json`
 //! and `BENCH_latest.json` into the current directory. It manages the
 //! profiler flag itself. `--baseline FILE` compares the new gate
 //! against a previous report and exits 1 on a regression beyond
@@ -133,6 +144,18 @@ fn main() {
     let trace_secs: Option<u64> = take_value_flag(&mut args, "--trace-secs").map(|v| {
         v.parse().unwrap_or_else(|e| {
             eprintln!("bad --trace-secs value: {e}");
+            std::process::exit(2);
+        })
+    });
+    let devices: Option<u64> = take_value_flag(&mut args, "--devices").map(|v| {
+        v.parse().unwrap_or_else(|e| {
+            eprintln!("bad --devices value: {e}");
+            std::process::exit(2);
+        })
+    });
+    let device_secs: Option<u64> = take_value_flag(&mut args, "--device-secs").map(|v| {
+        v.parse().unwrap_or_else(|e| {
+            eprintln!("bad --device-secs value: {e}");
             std::process::exit(2);
         })
     });
@@ -427,6 +450,26 @@ fn main() {
                     );
                 }
             }
+            "fleet" => {
+                let mut population = fleet::PopulationConfig::new(devices.unwrap_or(1_000), SEED);
+                if let Some(secs) = device_secs {
+                    population.device_secs = secs;
+                }
+                let artifacts = fleet_cmd::run_with(&engine, &population).expect("save fleet");
+                let stats = &artifacts.outcome.stats;
+                print!("{}", fleet::digest(&artifacts.outcome.acc));
+                println!(
+                    "    engine: {} devices streamed on {} worker(s), {} failed -> {:.0} devices/s",
+                    stats.total, stats.workers, stats.failed, stats.devices_per_sec()
+                );
+                print_metrics(&artifacts.outcome.metrics);
+                println!(
+                    "    wrote {} (and {})",
+                    artifacts.summary_path.display(),
+                    artifacts.csv_path.display()
+                );
+                cells_failed += stats.failed as usize;
+            }
             "bench" => {
                 let mut cfg = bench_cmd::BenchConfig {
                     seed: SEED,
@@ -438,6 +481,9 @@ fn main() {
                 }
                 if let Some(secs) = trace_secs {
                     cfg.trace_secs = secs;
+                }
+                if let Some(devices) = devices {
+                    cfg.fleet_devices = devices;
                 }
                 if let Some(iters) = bench_iters {
                     cfg.hot_iters = iters;

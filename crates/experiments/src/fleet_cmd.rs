@@ -1,0 +1,101 @@
+//! `repro fleet`: population simulation over the streaming engine.
+//!
+//! A thin CLI shim over [`fleet::run`]: builds the population from
+//! `--devices`/`--seed`/`--device-secs`, streams it through the
+//! engine, prints the sketch digest, and persists the population
+//! summary under `results/fleet/`.
+//!
+//! The saved `population_summary.txt` is the [`sim_core::FleetSummary`]
+//! canonical encoding — the file CI byte-diffs across `--jobs` counts
+//! to prove the aggregation is partition-independent. `fleet.csv` is a
+//! friendlier per-metric table (count/mean/percentiles) for plotting.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use engine::Engine;
+use fleet::{FleetOutcome, PopulationConfig};
+use sim_core::FleetSummary;
+
+use crate::report;
+
+/// What `repro fleet` leaves on disk.
+pub struct FleetArtifacts {
+    /// The run itself (summary, stats, failures, metrics, profile).
+    pub outcome: FleetOutcome,
+    /// Canonical summary bytes (`population_summary.txt`).
+    pub summary_path: PathBuf,
+    /// Per-metric digest table (`fleet.csv`).
+    pub csv_path: PathBuf,
+}
+
+/// Runs the population and writes both artifacts under
+/// `results/fleet/` (honoring `REPRO_RESULTS_DIR`).
+pub fn run_with(engine: &Engine, population: &PopulationConfig) -> io::Result<FleetArtifacts> {
+    let outcome = fleet::run(engine, "fleet", population);
+    let dir = report::results_dir().join("fleet");
+    let (summary_path, csv_path) = save(&dir, &outcome.acc)?;
+    Ok(FleetArtifacts {
+        outcome,
+        summary_path,
+        csv_path,
+    })
+}
+
+/// Writes `population_summary.txt` (canonical bytes) and `fleet.csv`
+/// (per-metric digest) into `dir`, returning both paths.
+pub fn save(dir: &Path, summary: &FleetSummary) -> io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let summary_path = dir.join("population_summary.txt");
+    std::fs::write(&summary_path, summary.encode())?;
+    let csv_path = dir.join("fleet.csv");
+    std::fs::write(&csv_path, csv(summary))?;
+    Ok((summary_path, csv_path))
+}
+
+/// Renders the per-metric digest table as CSV.
+pub fn csv(summary: &FleetSummary) -> String {
+    let mut out = String::from("metric,count,mean,min,p50,p90,p99,max\n");
+    for name in summary.metric_names() {
+        let h = summary.metric(name).expect("listed metric exists");
+        out.push_str(&format!(
+            "{name},{},{},{},{},{},{},{}\n",
+            h.count(),
+            h.mean().unwrap_or(0.0),
+            h.min().unwrap_or(0.0),
+            h.percentile(0.5).unwrap_or(0.0),
+            h.percentile(0.9).unwrap_or(0.0),
+            h.percentile(0.99).unwrap_or(0.0),
+            h.max().unwrap_or(0.0),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::EngineConfig;
+
+    #[test]
+    fn saved_summary_round_trips_and_csv_covers_every_metric() {
+        let engine = Engine::new(EngineConfig::hermetic());
+        let population = PopulationConfig::new(6, 11);
+        let outcome = fleet::run(&engine, "fleet-cmd-test", &population);
+
+        let dir = std::env::temp_dir().join(format!("fleet-cmd-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (summary_path, csv_path) = save(&dir, &outcome.acc).expect("save artifacts");
+
+        let bytes = std::fs::read_to_string(&summary_path).expect("summary written");
+        let decoded = FleetSummary::decode(&bytes).expect("canonical bytes decode");
+        assert_eq!(decoded, outcome.acc, "file round-trips the summary");
+
+        let table = std::fs::read_to_string(&csv_path).expect("csv written");
+        assert!(table.starts_with("metric,count,"));
+        for name in outcome.acc.metric_names() {
+            assert!(table.contains(name), "csv missing {name}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -56,6 +56,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet_cmd;
 pub mod govil_exp;
 pub mod memprobe;
 pub mod modern;

@@ -1,0 +1,117 @@
+//! End-to-end tests for `repro fleet`: summary-byte determinism across
+//! worker counts, cache state and injected chaos, plus the
+//! flat-memory claim measured over a 10x population growth.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn results_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("itsy-dvs-fleet-test-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs `repro fleet --devices <devices>` with the given extra args;
+/// returns the canonical summary bytes and the run's `metrics.json`.
+fn run_fleet(tag: &str, devices: &str, extra: &[&str]) -> (String, String) {
+    let dir = results_dir(tag);
+    let out = repro()
+        .env("REPRO_RESULTS_DIR", &dir)
+        .args(["--quiet", "--seed", "7", "fleet", "--devices", devices])
+        .args(extra)
+        .output()
+        .expect("repro runs");
+    assert!(
+        out.status.success(),
+        "repro fleet failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = std::fs::read_to_string(dir.join("fleet").join("population_summary.txt"))
+        .expect("summary written");
+    let metrics = std::fs::read_to_string(dir.join("fleet").join("metrics.json"))
+        .expect("metrics written");
+    let _ = std::fs::remove_dir_all(&dir);
+    (summary, metrics)
+}
+
+#[test]
+fn summary_bytes_are_identical_across_worker_counts() {
+    let (one, metrics) = run_fleet("jobs1", "40", &["--jobs", "1"]);
+    assert!(one.starts_with("fleet-summary v1 devices=40 failed=0\n"));
+    assert!(
+        metrics.contains("\"peak_rss_bytes\""),
+        "metrics.json missing RSS probe:\n{metrics}"
+    );
+    for jobs in ["4", "8"] {
+        let (many, _) = run_fleet(&format!("jobs{jobs}"), "40", &["--jobs", jobs]);
+        assert_eq!(one, many, "summary bytes differ at --jobs {jobs}");
+    }
+}
+
+#[test]
+fn summary_bytes_survive_cache_state_and_chaos() {
+    // Streaming never touches the cache, so hit/miss state cannot leak
+    // in — but prove it end-to-end: a run with the cache disabled and a
+    // run right after a cache-populating sweep must both match.
+    let (plain, _) = run_fleet("plain", "40", &[]);
+    let (no_cache, _) = run_fleet("nocache", "40", &["--no-cache"]);
+    assert_eq!(plain, no_cache, "cache flag must not change the bytes");
+
+    // Injected worker panics with retries enabled: same bytes.
+    let (chaotic, _) = run_fleet(
+        "chaos",
+        "40",
+        &["--jobs", "4", "--fault-plan", "seed=3,panic=0.5,max_panics=20"],
+    );
+    assert_eq!(plain, chaotic, "chaos with retries must not change bytes");
+}
+
+#[test]
+fn seed_and_size_change_the_population() {
+    let (base, _) = run_fleet("base", "40", &[]);
+    let dir = results_dir("seed9");
+    let out = repro()
+        .env("REPRO_RESULTS_DIR", &dir)
+        .args(["--quiet", "--seed", "9", "fleet", "--devices", "40"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let reseeded =
+        std::fs::read_to_string(dir.join("fleet").join("population_summary.txt")).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_ne!(base, reseeded, "a different seed is a different fleet");
+
+    let (smaller, _) = run_fleet("small", "12", &[]);
+    assert!(smaller.starts_with("fleet-summary v1 devices=12 "));
+}
+
+/// The bounded-memory claim: peak RSS after streaming 10x the devices
+/// must stay within a small constant factor. Uses the in-process
+/// engine (child-process RSS would also work but is noisier); the
+/// VmHWM probe is monotone within a process, so the sequence
+/// small-then-large gives large >= small and the ratio bounds the
+/// growth the large run added.
+#[test]
+fn peak_rss_is_flat_in_device_count() {
+    let run = |devices: u64| {
+        let engine = engine::Engine::new(engine::EngineConfig::hermetic());
+        let population = fleet::PopulationConfig::new(devices, 5);
+        let out = fleet::run(&engine, "rss-probe", &population);
+        assert_eq!(out.stats.executed, devices);
+        out.metrics.peak_rss_bytes
+    };
+    let small = run(10_000);
+    let large = run(100_000);
+    assert!(small > 0, "RSS probe must read VmHWM");
+    let ratio = large as f64 / small as f64;
+    assert!(
+        ratio < 1.5,
+        "peak RSS grew {ratio:.2}x over a 10x population \
+         ({small} -> {large} bytes); streaming must stay flat"
+    );
+}

@@ -1,0 +1,157 @@
+//! The fleet run driver: population → streaming engine → sketches.
+//!
+//! [`run`] pushes a [`PopulationConfig`]'s lazy spec stream through
+//! [`Engine::run_stream`], folding every device's [`JobResult`] into a
+//! [`FleetSummary`] with [`fold_result`]. The fold touches only
+//! commutative-merge sketches, so the summary — and its
+//! [`encode`](FleetSummary::encode) bytes — is identical at any
+//! `--jobs` and under injected chaos (retries absorb the panics).
+
+use engine::{Engine, JobResult, JobSpec, StreamOutcome};
+use sim_core::FleetSummary;
+
+use crate::population::PopulationConfig;
+
+/// A fleet run's outcome: the population summary plus the engine's
+/// streaming stats, failure sample, metrics and profile.
+pub type FleetOutcome = StreamOutcome<FleetSummary>;
+
+/// Clock-switch rate (per simulated second) above which a device is
+/// counted as oscillating. The paper's pathological AVG_N traces bounce
+/// the clock every few quanta — tens of switches per second — while
+/// settled policies switch well under twice a second, so the threshold
+/// separates the regimes with a wide margin on both sides.
+pub const OSCILLATION_SWITCHES_PER_SEC: f64 = 2.0;
+
+/// Folds one device's result into a population summary.
+///
+/// Metrics recorded per device: `energy_j`, `mean_freq_mhz`,
+/// `mean_utilization`, `misses`, `max_lateness_us`,
+/// `clock_switches_per_sec`, an `oscillating` 0/1 indicator (its mean
+/// is the fleet's oscillation incidence), and `battery_remaining` for
+/// battery-powered devices (mains devices are skipped, so the sketch's
+/// mean is over devices that actually have a battery).
+pub fn fold_result(acc: &mut FleetSummary, _device: u64, spec: &JobSpec, r: &JobResult) {
+    let secs = (spec.duration.as_micros() as f64 / 1e6).max(1e-9);
+    let switches_per_sec = r.clock_switches as f64 / secs;
+    acc.record("energy_j", r.energy_j);
+    acc.record("mean_freq_mhz", r.mean_freq_mhz);
+    acc.record("mean_utilization", r.mean_utilization);
+    acc.record("misses", r.misses as f64);
+    acc.record("max_lateness_us", r.max_lateness_us as f64);
+    acc.record("clock_switches_per_sec", switches_per_sec);
+    acc.record(
+        "oscillating",
+        if switches_per_sec > OSCILLATION_SWITCHES_PER_SEC {
+            1.0
+        } else {
+            0.0
+        },
+    );
+    if r.battery_remaining >= 0.0 {
+        acc.record("battery_remaining", r.battery_remaining);
+    }
+    acc.bump_devices();
+}
+
+/// Streams the whole population through the engine and returns the
+/// merged summary. `batch` names the run for metrics/progress output.
+pub fn run(engine: &Engine, batch: &str, population: &PopulationConfig) -> FleetOutcome {
+    engine.run_stream(batch, population.stream(), fold_result, |into, from| {
+        into.merge(&from)
+    })
+}
+
+/// Renders the human-readable digest the `repro fleet` command prints:
+/// one line per metric with count, mean and extremes pulled from the
+/// sketches.
+pub fn digest(summary: &FleetSummary) -> String {
+    let mut out = format!(
+        "fleet: {} devices summarized, {} failed\n",
+        summary.devices(),
+        summary.failed()
+    );
+    for name in summary.metric_names().collect::<Vec<_>>() {
+        let h = summary.metric(name).expect("listed metric exists");
+        out.push_str(&format!(
+            "  {name:<24} n={:<8} mean={:<12.4} min={:<12.4} p50={:<12.4} max={:.4}\n",
+            h.count(),
+            h.mean().unwrap_or(0.0),
+            h.min().unwrap_or(0.0),
+            h.percentile(0.5).unwrap_or(0.0),
+            h.max().unwrap_or(0.0),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::{EngineConfig, FaultPlan};
+
+    fn outcome(jobs: usize, faults: Option<FaultPlan>) -> FleetOutcome {
+        let engine = Engine::new(EngineConfig {
+            jobs,
+            faults,
+            ..EngineConfig::hermetic()
+        });
+        run(&engine, "fleet-test", &PopulationConfig::new(10, 99))
+    }
+
+    #[test]
+    fn summary_is_byte_identical_across_worker_counts() {
+        let one = outcome(1, None);
+        assert_eq!(one.stats.executed, 10);
+        assert_eq!(one.acc.devices(), 10);
+        // Battery metric only covers battery-powered devices.
+        let battery_n = one
+            .acc
+            .metric("battery_remaining")
+            .map_or(0, |h| h.count());
+        assert!(battery_n <= 10);
+        assert_eq!(one.acc.metric("energy_j").unwrap().count(), 10);
+        for jobs in [4, 8] {
+            assert_eq!(
+                one.acc.encode(),
+                outcome(jobs, None).acc.encode(),
+                "jobs=1 vs jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_is_byte_identical_under_injected_chaos() {
+        let clean = outcome(1, None);
+        let chaotic = outcome(
+            4,
+            Some(FaultPlan {
+                panic: 1.0,
+                max_panics: 2,
+                ..FaultPlan::default()
+            }),
+        );
+        assert_eq!(chaotic.stats.failed, 0, "retries absorb injected panics");
+        assert_eq!(clean.acc.encode(), chaotic.acc.encode());
+    }
+
+    #[test]
+    fn oscillation_indicator_is_a_zero_one_metric() {
+        let out = outcome(2, None);
+        let h = out.acc.metric("oscillating").expect("indicator recorded");
+        assert_eq!(h.count(), 10);
+        let (min, max) = (h.min().unwrap(), h.max().unwrap());
+        assert!(min == 0.0 || min == 1.0);
+        assert!(max == 0.0 || max == 1.0);
+    }
+
+    #[test]
+    fn digest_lists_every_metric() {
+        let out = outcome(2, None);
+        let digest = digest(&out.acc);
+        assert!(digest.starts_with("fleet: 10 devices"));
+        for name in out.acc.metric_names() {
+            assert!(digest.contains(name), "digest missing {name}");
+        }
+    }
+}

@@ -86,7 +86,15 @@ pub struct Battery {
 impl Battery {
     /// Creates a fully-charged battery.
     pub fn new(params: BatteryParams) -> Self {
-        let charge_j = params.nominal_wh * 3_600.0;
+        Battery::with_charge_fraction(params, 1.0)
+    }
+
+    /// Creates a battery holding `fraction` of its nominal charge
+    /// (clamped to `[0, 1]`). Fleet populations start devices at
+    /// varied charge states; a device mid-discharge behaves differently
+    /// under rate-derating than a fresh one.
+    pub fn with_charge_fraction(params: BatteryParams, fraction: f64) -> Self {
+        let charge_j = params.nominal_wh * 3_600.0 * fraction.clamp(0.0, 1.0);
         Battery {
             params,
             charge_j,
@@ -178,6 +186,17 @@ mod tests {
         assert!(!b.is_empty());
         assert!((b.remaining_fraction() - 1.0).abs() < 1e-12);
         assert!((b.remaining_joules() - 3.46 * 3600.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partial_charge_starts_proportionally_full() {
+        let b = Battery::with_charge_fraction(BatteryParams::default(), 0.25);
+        assert!((b.remaining_fraction() - 0.25).abs() < 1e-12);
+        // Clamped at both ends.
+        let over = Battery::with_charge_fraction(BatteryParams::default(), 1.7);
+        assert!((over.remaining_fraction() - 1.0).abs() < 1e-12);
+        let under = Battery::with_charge_fraction(BatteryParams::default(), -0.5);
+        assert!(under.is_empty());
     }
 
     #[test]

@@ -89,6 +89,22 @@ impl PowerParams {
         let ratio = v.as_mv() as f64 / self.v_ref_mv as f64;
         (1.0 - self.v2_fraction) + self.v2_fraction * ratio * ratio
     }
+
+    /// Returns these parameters with the core and base draws scaled by
+    /// parts-per-million factors (`1_000_000` = unchanged).
+    ///
+    /// This is the hardware-spread hook for fleet simulation: real
+    /// devices of one SKU differ a few percent in silicon leakage and
+    /// board-level draw, and the spread is specified in integer ppm so
+    /// a device's parameters derive exactly from its spec — no float
+    /// round-trip between the population generator and the job key.
+    pub fn scaled_ppm(&self, core_ppm: u32, base_ppm: u32) -> PowerParams {
+        PowerParams {
+            core_w_per_mhz: self.core_w_per_mhz * (core_ppm as f64 / 1e6),
+            base_w: self.base_w * (base_ppm as f64 / 1e6),
+            ..self.clone()
+        }
+    }
 }
 
 /// Which peripheral devices are currently powered.
@@ -254,6 +270,19 @@ mod tests {
         let p = PowerParams::default();
         assert!((p.voltage_factor(V_HIGH) - 1.0).abs() < 1e-12);
         assert!(p.voltage_factor(V_LOW) < 1.0);
+    }
+
+    #[test]
+    fn ppm_scaling_spreads_core_and_base_draw() {
+        let stock = PowerParams::default();
+        let hot = stock.scaled_ppm(1_050_000, 980_000); // +5 % core, −2 % base
+        assert!((hot.core_w_per_mhz / stock.core_w_per_mhz - 1.05).abs() < 1e-12);
+        assert!((hot.base_w / stock.base_w - 0.98).abs() < 1e-12);
+        // Everything else is untouched.
+        assert_eq!(hot.v_ref_mv, stock.v_ref_mv);
+        assert_eq!(hot.clock_switch_stall_us, stock.clock_switch_stall_us);
+        // Identity scaling is exact.
+        assert_eq!(stock.scaled_ppm(1_000_000, 1_000_000), stock);
     }
 
     #[test]

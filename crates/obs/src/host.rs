@@ -1,0 +1,64 @@
+//! Host-process probes: facts about the process itself, not the
+//! simulation.
+//!
+//! The fleet harness's headline claim — peak memory flat in device
+//! count — must be *measured*, not asserted. The kernel already keeps
+//! the measurement: `VmHWM` in `/proc/self/status` is the process's
+//! high-water-mark resident set, maintained for free by the memory
+//! subsystem, immune to sampling gaps (a probe thread polling RSS can
+//! miss a transient spike; the high-water mark cannot).
+
+/// Peak resident-set size of this process in bytes (`VmHWM`), or `None`
+/// where procfs is unavailable (non-Linux hosts). The value is
+/// monotone over the process lifetime — it never decreases, so reading
+/// it at the end of a run captures the whole run's peak.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
+}
+
+/// Extracts `VmHWM` (reported by the kernel in kB) from a
+/// `/proc/self/status` document.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .strip_prefix("VmHWM:")?
+        .trim()
+        .strip_suffix("kB")?
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_kernel_formatted_status() {
+        let status = "Name:\ttest\nVmPeak:\t  123456 kB\nVmHWM:\t   98304 kB\nVmRSS:\t 90000 kB\n";
+        assert_eq!(parse_vm_hwm(status), Some(98_304 * 1024));
+        assert_eq!(parse_vm_hwm("Name:\ttest\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tgarbage kB\n"), None);
+    }
+
+    #[test]
+    fn live_probe_reports_a_plausible_peak() {
+        // This test process is running, so its peak RSS is at least a
+        // few hundred kB and below a terabyte.
+        let peak = peak_rss_bytes().expect("procfs available on Linux CI");
+        assert!(peak > 100 * 1024, "peak = {peak}");
+        assert!(peak < (1u64 << 40), "peak = {peak}");
+    }
+
+    #[test]
+    fn probe_is_monotone() {
+        let before = peak_rss_bytes().expect("procfs");
+        // Touch a few MB so the high-water mark cannot move down.
+        let block = vec![1u8; 4 << 20];
+        std::hint::black_box(&block);
+        let after = peak_rss_bytes().expect("procfs");
+        assert!(after >= before, "{after} < {before}");
+    }
+}

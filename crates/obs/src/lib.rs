@@ -29,6 +29,7 @@
 
 pub mod event;
 pub mod export;
+pub mod host;
 pub mod logger;
 pub mod metrics;
 pub mod run_metrics;
@@ -39,6 +40,7 @@ pub use export::{
     export_chrome_json, export_chrome_json_with_spans, export_csv, export_spans_chrome_json,
     merge_traces, MergedEvent,
 };
+pub use host::peak_rss_bytes;
 pub use logger::{enabled, set_verbosity, verbosity, Level};
 pub use metrics::WorkerMetrics;
 pub use run_metrics::{PolicyMetrics, RunMetrics, StageMetrics};

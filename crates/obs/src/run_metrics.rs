@@ -75,6 +75,11 @@ pub struct RunMetrics {
     pub wall_us: u64,
     /// Simulated time covered, summed over simulated cells, µs.
     pub sim_us: u64,
+    /// Peak resident-set size of the whole process at the end of the
+    /// batch, bytes (`0` where the host has no procfs). Monotone over
+    /// the process, so on a multi-batch run each batch reports the
+    /// max so far — the fleet memory gate runs one batch per process.
+    pub peak_rss_bytes: u64,
     /// Median per-job wall latency, µs (0 when no jobs executed).
     pub job_latency_p50_us: f64,
     /// 90th-percentile per-job wall latency, µs.
@@ -174,6 +179,7 @@ impl RunMetrics {
         let _ = writeln!(out, "  \"sim_per_wall\": {:.6},", self.sim_per_wall);
         let _ = writeln!(out, "  \"wall_us\": {},", self.wall_us);
         let _ = writeln!(out, "  \"sim_us\": {},", self.sim_us);
+        let _ = writeln!(out, "  \"peak_rss_bytes\": {},", self.peak_rss_bytes);
         let _ = writeln!(
             out,
             "  \"job_latency_p50_us\": {:.6},",

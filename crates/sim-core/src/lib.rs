@@ -23,6 +23,7 @@ pub mod log_histogram;
 pub mod quantity;
 pub mod rng;
 pub mod series;
+pub mod sketch;
 pub mod stats;
 pub mod time;
 
@@ -32,5 +33,6 @@ pub use log_histogram::LogHistogram;
 pub use quantity::{Energy, Frequency, Power, Voltage};
 pub use rng::Rng;
 pub use series::TimeSeries;
+pub use sketch::FleetSummary;
 pub use stats::{mean, rate_per_sec, student_t_975, ConfidenceInterval, RunStats};
 pub use time::{SimDuration, SimTime};

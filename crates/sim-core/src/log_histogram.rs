@@ -9,6 +9,23 @@
 //! a fixed *ratio* (`2^(1/16) ≈ 1.044`) and percentile estimates carry
 //! at most ~2.2 % relative error at any scale, with O(log range)
 //! memory.
+//!
+//! # Mergeable-sketch guarantees
+//!
+//! `LogHistogram` is the unit sketch behind fleet-scale population
+//! aggregation, so its entire state is exact and order-independent:
+//! bucket counts are integers, the running sum is fixed-point (an
+//! `i128` of 2⁻²⁰ units), and min/max update under IEEE total order.
+//! Consequently [`merge`](Self::merge) is associative and commutative
+//! *bit-for-bit* — sharding a sample stream across any number of
+//! workers and merging the shards in any order yields a histogram
+//! byte-identical ([`encode`](Self::encode)) to single-threaded
+//! recording. A proptest in `tests/log_histogram.rs` pins this.
+//!
+//! The price is that [`sum`](Self::sum) (and therefore
+//! [`mean`](Self::mean)) quantizes each sample to the fixed-point grid
+//! (absolute error ≤ 2⁻²¹ per sample), which is far below the bucket
+//! resolution everything downstream consumes.
 
 use std::collections::BTreeMap;
 
@@ -17,6 +34,17 @@ use serde::{Deserialize, Serialize};
 /// Sub-buckets per octave (power of two). 16 gives ≤ 2.2 % relative
 /// quantile error from bucket midpointing.
 const SUBBUCKETS: f64 = 16.0;
+
+/// Fixed-point scale of the running sum: 2²⁰ units per 1.0. A binary
+/// scale keeps the f64→fixed conversion exact for dyadic rationals and
+/// the quantization error below 2⁻²¹ per sample.
+const SUM_SCALE: f64 = (1u64 << 20) as f64;
+
+/// Converts one sample to fixed-point sum units. Saturates at the
+/// `i128` range (unreachable for physical quantities).
+fn to_fixed(v: f64) -> i128 {
+    (v * SUM_SCALE).round() as i128
+}
 
 /// A histogram over `(0, ∞)` with logarithmic buckets.
 ///
@@ -37,17 +65,35 @@ const SUBBUCKETS: f64 = 16.0;
 /// assert_eq!(h.max(), Some(1000.0));
 /// let p50 = h.percentile(0.5).unwrap();
 /// assert!((p50 / 4.0 - 1.0).abs() < 0.05, "p50 = {p50}");
+/// // The state round-trips bit-exactly through the compact codec.
+/// let back = LogHistogram::decode(&h.encode()).unwrap();
+/// assert_eq!(back, h);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LogHistogram {
     /// Bucket index → count; index `i` covers `[2^(i/16), 2^((i+1)/16))`.
     buckets: BTreeMap<i32, u64>,
     /// Samples with value ≤ 0.
     zeros: u64,
     count: u64,
-    sum: f64,
+    /// Running sum in fixed-point [`SUM_SCALE`] units. Integer, so
+    /// addition — unlike f64 addition — is associative: merge order and
+    /// shard partitioning cannot change the bits.
+    sum_fixed: i128,
+    /// Smallest sample; updated under `total_cmp` so `-0.0`/`0.0` ties
+    /// resolve identically whatever the arrival order.
     min: f64,
+    /// Largest sample; updated under `total_cmp`.
     max: f64,
+}
+
+/// `Default` must match [`LogHistogram::new`]: the derived impl would
+/// zero `min`/`max`, and a histogram born through `or_default()` would
+/// then corrupt every merge with a phantom 0.0 minimum.
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
 }
 
 impl LogHistogram {
@@ -57,7 +103,7 @@ impl LogHistogram {
             buckets: BTreeMap::new(),
             zeros: 0,
             count: 0,
-            sum: 0.0,
+            sum_fixed: 0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -85,9 +131,13 @@ impl LogHistogram {
             *self.buckets.entry(Self::bucket_of(v)).or_insert(0) += 1;
         }
         self.count += 1;
-        self.sum += v;
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
+        self.sum_fixed = self.sum_fixed.saturating_add(to_fixed(v));
+        if v.total_cmp(&self.min).is_lt() {
+            self.min = v;
+        }
+        if v.total_cmp(&self.max).is_gt() {
+            self.max = v;
+        }
     }
 
     /// Number of recorded samples.
@@ -95,9 +145,9 @@ impl LogHistogram {
         self.count
     }
 
-    /// Sum of recorded samples.
+    /// Sum of recorded samples (fixed-point, exact to 2⁻²¹ per sample).
     pub fn sum(&self) -> f64 {
-        self.sum
+        self.sum_fixed as f64 / SUM_SCALE
     }
 
     /// Smallest recorded sample; `None` if empty.
@@ -112,7 +162,7 @@ impl LogHistogram {
 
     /// Mean of recorded samples; `None` if empty.
     pub fn mean(&self) -> Option<f64> {
-        (self.count > 0).then_some(self.sum / self.count as f64)
+        (self.count > 0).then_some(self.sum() / self.count as f64)
     }
 
     /// Percentile estimate for `q ∈ [0, 1]` (nearest-rank over
@@ -147,17 +197,85 @@ impl LogHistogram {
     }
 
     /// Folds another histogram into this one. Associative and
-    /// commutative, like [`Histogram::merge`](crate::Histogram::merge),
-    /// so per-worker histograms combine in any join order.
+    /// commutative **bit-for-bit** (integer counts and sums, total-order
+    /// min/max), so per-worker histograms combine in any join order and
+    /// any shard partitioning, and the merged state encodes to the same
+    /// bytes a single-pass recording would.
     pub fn merge(&mut self, other: &LogHistogram) {
         for (&i, &c) in &other.buckets {
             *self.buckets.entry(i).or_insert(0) += c;
         }
         self.zeros += other.zeros;
         self.count += other.count;
-        self.sum += other.sum;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
+        self.sum_fixed = self.sum_fixed.saturating_add(other.sum_fixed);
+        if other.min.total_cmp(&self.min).is_lt() {
+            self.min = other.min;
+        }
+        if other.max.total_cmp(&self.max).is_gt() {
+            self.max = other.max;
+        }
+    }
+
+    /// Encodes the full state as one compact line of stable
+    /// `key=value` fields (floats as `to_bits` hex, buckets as
+    /// `index:count` pairs). Two histograms are equal iff their
+    /// encodings are byte-identical, which is what lets fleet runs
+    /// byte-diff population summaries across worker counts.
+    pub fn encode(&self) -> String {
+        let mut out = format!(
+            "n={};z={};s={};min={:016x};max={:016x};b=",
+            self.count,
+            self.zeros,
+            self.sum_fixed,
+            self.min.to_bits(),
+            self.max.to_bits(),
+        );
+        for (i, (&bucket, &c)) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{bucket}:{c}"));
+        }
+        out
+    }
+
+    /// Decodes [`encode`](Self::encode) output; `None` on any
+    /// malformed, missing or inconsistent field.
+    pub fn decode(s: &str) -> Option<Self> {
+        let mut fields: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+        for pair in s.trim().split(';') {
+            let (k, v) = pair.split_once('=')?;
+            fields.insert(k.trim(), v.trim());
+        }
+        let count: u64 = fields.get("n")?.parse().ok()?;
+        let zeros: u64 = fields.get("z")?.parse().ok()?;
+        let sum_fixed: i128 = fields.get("s")?.parse().ok()?;
+        let min = f64::from_bits(u64::from_str_radix(fields.get("min")?, 16).ok()?);
+        let max = f64::from_bits(u64::from_str_radix(fields.get("max")?, 16).ok()?);
+        let mut buckets = BTreeMap::new();
+        let body = *fields.get("b")?;
+        if !body.is_empty() {
+            for pair in body.split(',') {
+                let (i, c) = pair.split_once(':')?;
+                let prev = buckets.insert(i.parse::<i32>().ok()?, c.parse::<u64>().ok()?);
+                if prev.is_some() {
+                    return None;
+                }
+            }
+        }
+        // Every recorded sample is in exactly one bucket (or zeros).
+        let bucketed: u64 = buckets.values().sum();
+        if zeros.checked_add(bucketed)? != count {
+            return None;
+        }
+        Some(LogHistogram {
+            buckets,
+            zeros,
+            count,
+            sum_fixed,
+            min,
+            max,
+        })
     }
 }
 
@@ -173,6 +291,17 @@ mod tests {
         assert_eq!(h.max(), None);
         assert_eq!(h.mean(), None);
         assert_eq!(h.percentile(0.5), None);
+    }
+
+    #[test]
+    fn default_equals_new() {
+        // The derived Default would zero min/max and corrupt merges
+        // (the `or_default()` path in obs::WorkerMetrics hit exactly
+        // that); pin the manual impl.
+        assert_eq!(LogHistogram::default(), LogHistogram::new());
+        let mut via_default = LogHistogram::default();
+        via_default.record(100.0);
+        assert_eq!(via_default.min(), Some(100.0));
     }
 
     #[test]
@@ -198,6 +327,16 @@ mod tests {
         assert!((p90 / 900.0 - 1.0).abs() < 0.05, "p90 = {p90}");
         assert_eq!(h.percentile(1.0), Some(1000.0));
         assert_eq!(h.min(), Some(1.0));
+    }
+
+    #[test]
+    fn sum_and_mean_are_fixed_point_exact_for_integers() {
+        let mut h = LogHistogram::new();
+        for v in [1.0, 2.0, 4.0, 1000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.sum(), 1007.0);
+        assert_eq!(h.mean(), Some(1007.0 / 4.0));
     }
 
     #[test]
@@ -241,6 +380,7 @@ mod tests {
             whole.record(v);
         }
         assert_eq!(a, whole);
+        assert_eq!(a.encode(), whole.encode(), "merge is byte-transparent");
     }
 
     #[test]
@@ -255,6 +395,39 @@ mod tests {
         let mut ba = b.clone();
         ba.merge(&a);
         assert_eq!(ab, ba);
+        assert_eq!(ab.encode(), ba.encode());
+    }
+
+    #[test]
+    fn signed_zero_min_is_order_independent() {
+        // f64::min(0.0, -0.0) may return either zero; total_cmp makes
+        // -0.0 strictly smaller so arrival order cannot change bits.
+        let mut a = LogHistogram::new();
+        a.record(0.0);
+        a.record(-0.0);
+        let mut b = LogHistogram::new();
+        b.record(-0.0);
+        b.record(0.0);
+        assert_eq!(a.min().unwrap().to_bits(), b.min().unwrap().to_bits());
+        assert_eq!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn codec_round_trips_and_rejects_garbage() {
+        let mut h = LogHistogram::new();
+        for v in [0.0, -2.5, 1e-9, 7.0, 1e12] {
+            h.record(v);
+        }
+        let s = h.encode();
+        assert_eq!(LogHistogram::decode(&s), Some(h.clone()));
+        assert_eq!(LogHistogram::decode(""), None);
+        assert_eq!(LogHistogram::decode("n=zz"), None);
+        // Inconsistent count vs bucket mass is rejected, not trusted.
+        let tampered = s.replace("n=5", "n=6");
+        assert_eq!(LogHistogram::decode(&tampered), None);
+        // Empty histogram round-trips too.
+        let empty = LogHistogram::new();
+        assert_eq!(LogHistogram::decode(&empty.encode()), Some(empty));
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Property-based tests for [`sim_core::LogHistogram`]: percentile
-//! queries against a naive sorted-vec oracle, and monotonicity of the
-//! quantile chain p50 ≤ p90 ≤ p99 ≤ max.
+//! queries against a naive sorted-vec oracle, monotonicity of the
+//! quantile chain p50 ≤ p90 ≤ p99 ≤ max, and the mergeable-sketch
+//! algebra fleet aggregation depends on — merge is associative and
+//! commutative bit-for-bit, and sharding a stream across workers then
+//! merging equals single-pass recording byte-for-byte.
 
 use proptest::prelude::*;
 
@@ -87,16 +90,82 @@ proptest! {
         for &s in &samples {
             whole.record(s);
         }
-        // Float summation order differs between the split and whole
-        // paths, so `sum` may drift in the last ulp; everything
-        // rank-based must match exactly.
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert_eq!(a.min(), whole.min());
-        prop_assert_eq!(a.max(), whole.max());
-        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
-            prop_assert_eq!(a.percentile(q), whole.percentile(q), "q={}", q);
+        // The sum is fixed-point, so even it is exact: the merged
+        // histogram is byte-identical to single-pass recording.
+        prop_assert_eq!(&a, &whole);
+        prop_assert_eq!(a.encode(), whole.encode());
+    }
+
+    /// Merge is associative and commutative *bit-for-bit*: any
+    /// parenthesization and any operand order of three histograms
+    /// encodes to the same bytes. This is what makes per-worker shard
+    /// folding deterministic at any `--jobs`.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        xs in proptest::collection::vec(-1.0f64..1e9, 0..60),
+        ys in proptest::collection::vec(1e-9f64..1e12, 0..60),
+        zs in proptest::collection::vec(0.0f64..1e3, 0..60),
+    ) {
+        let hist = |vals: &[f64]| {
+            let mut h = LogHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (hist(&xs), hist(&ys), hist(&zs));
+
+        // ((a ⊕ b) ⊕ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // (a ⊕ (b ⊕ c))
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.encode(), right.encode(), "associativity");
+
+        // (c ⊕ b) ⊕ a — a fully reversed order.
+        let mut rev = c.clone();
+        rev.merge(&b);
+        rev.merge(&a);
+        prop_assert_eq!(left.encode(), rev.encode(), "commutativity");
+    }
+
+    /// Round-robin sharding across k workers, each folding locally,
+    /// then merging the shards equals single-pass aggregation
+    /// byte-for-byte — the fleet invariant behind identical population
+    /// summaries across `--jobs 1/4/8`.
+    #[test]
+    fn sharded_merge_equals_single_pass(
+        samples in proptest::collection::vec(-10.0f64..1e10, 0..300),
+        shards in 1usize..9,
+    ) {
+        let mut parts = vec![LogHistogram::new(); shards];
+        let mut whole = LogHistogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            parts[i % shards].record(s);
+            whole.record(s);
         }
-        let rel = (a.sum() / whole.sum() - 1.0).abs();
-        prop_assert!(rel < 1e-12, "sums diverge: {} vs {}", a.sum(), whole.sum());
+        let mut merged = LogHistogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(merged.encode(), whole.encode());
+    }
+
+    /// encode → decode is the identity on reachable states.
+    #[test]
+    fn codec_round_trips(
+        samples in proptest::collection::vec(-100.0f64..1e12, 0..200),
+    ) {
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let decoded = LogHistogram::decode(&h.encode());
+        prop_assert_eq!(decoded, Some(h));
     }
 }

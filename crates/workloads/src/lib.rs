@@ -154,6 +154,73 @@ impl Benchmark {
     }
 }
 
+/// A weighted mix over the four benchmarks, for sampling per-device
+/// workloads in a fleet population.
+///
+/// Weights are integers and selection consumes a single integer draw,
+/// so a device's workload is a pure function of its draw — no float
+/// thresholds whose rounding could differ between generator versions.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::{Benchmark, WorkloadMix};
+///
+/// let mix = WorkloadMix::default_fleet();
+/// // Deterministic: equal draws give equal picks.
+/// assert_eq!(mix.pick(12345), mix.pick(12345));
+/// // A zero-weight entry is never picked.
+/// let only_web = WorkloadMix::new([0, 1, 0, 0]);
+/// assert_eq!(only_web.pick(7), Benchmark::Web);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadMix {
+    /// Weight per benchmark, indexed like [`Benchmark::ALL`]
+    /// (MPEG, Web, Chess, TalkingEditor).
+    weights: [u32; 4],
+}
+
+impl WorkloadMix {
+    /// A mix with the given per-benchmark weights (at least one must be
+    /// non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every weight is zero.
+    pub fn new(weights: [u32; 4]) -> Self {
+        assert!(
+            weights.iter().any(|&w| w > 0),
+            "workload mix needs a non-zero weight"
+        );
+        WorkloadMix { weights }
+    }
+
+    /// Every benchmark equally likely.
+    pub fn uniform() -> Self {
+        WorkloadMix::new([1, 1, 1, 1])
+    }
+
+    /// The fleet default: handheld usage skews interactive — browsing
+    /// and media dominate, chess and the talking editor trail.
+    pub fn default_fleet() -> Self {
+        WorkloadMix::new([3, 4, 2, 1])
+    }
+
+    /// Picks a benchmark from an integer draw (e.g. one `Rng` output).
+    /// Equal draws always give equal picks.
+    pub fn pick(&self, draw: u64) -> Benchmark {
+        let total: u64 = self.weights.iter().map(|&w| w as u64).sum();
+        let mut point = draw % total;
+        for (i, &w) in self.weights.iter().enumerate() {
+            if point < w as u64 {
+                return Benchmark::ALL[i];
+            }
+            point -= w as u64;
+        }
+        unreachable!("point < sum of weights by construction");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +268,28 @@ mod tests {
             let tasks = b.tasks(42);
             assert!(!tasks.is_empty(), "{} has no tasks", b.name());
         }
+    }
+
+    #[test]
+    fn workload_mix_respects_weights() {
+        let mix = WorkloadMix::default_fleet();
+        let mut counts = [0u32; 4];
+        for draw in 0..10_000u64 {
+            let b = mix.pick(draw);
+            counts[Benchmark::ALL.iter().position(|&x| x == b).unwrap()] += 1;
+        }
+        // Sequential draws cycle the weights exactly: 3:4:2:1 over 10.
+        assert_eq!(counts, [3_000, 4_000, 2_000, 1_000]);
+        // Zero-weight entries never appear.
+        let no_chess = WorkloadMix::new([1, 1, 0, 1]);
+        for draw in 0..100 {
+            assert_ne!(no_chess.pick(draw), Benchmark::Chess);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero weight")]
+    fn all_zero_mix_panics() {
+        let _ = WorkloadMix::new([0, 0, 0, 0]);
     }
 }

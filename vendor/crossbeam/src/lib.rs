@@ -12,6 +12,11 @@
 //!   guards a `VecDeque` with a mutex, which is indistinguishable for
 //!   the coarse-grained (multi-second) simulation jobs pushed through
 //!   it.
+//! - [`channel::bounded`] — a blocking, bounded multi-producer /
+//!   multi-consumer channel (crossbeam's `channel` surface), built on a
+//!   mutex + condvars. The engine uses it for backpressure: a producer
+//!   feeding a full channel blocks until a worker drains a slot, which
+//!   is what keeps streaming batches at constant memory.
 
 pub mod thread {
     //! Scoped threads with crossbeam's calling convention.
@@ -126,6 +131,179 @@ pub mod deque {
     }
 }
 
+pub mod channel {
+    //! A blocking bounded MPMC channel (crossbeam's `channel` surface).
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent value back like crossbeam's.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        /// Space freed (senders wait on this).
+        not_full: Condvar,
+        /// Data arrived (receivers wait on this).
+        not_empty: Condvar,
+        capacity: usize,
+    }
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// The sending half; clone for more producers.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clone for more consumers.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates a bounded channel with room for `capacity` in-flight
+    /// values (at least one slot — a rendezvous channel is not needed
+    /// by this workspace and complicates the stub).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                buf: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until a slot frees up, then enqueues `value`. Fails
+        /// only when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if state.buf.len() < self.shared.capacity {
+                    state.buf.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .shared
+                    .not_full
+                    .wait(state)
+                    .expect("channel poisoned");
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives; fails once the channel is
+        /// drained and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.buf.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .not_empty
+                    .wait(state)
+                    .expect("channel poisoned");
+            }
+        }
+
+        /// A blocking iterator over received values, ending when every
+        /// sender is gone.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// See [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .queue
+                .lock()
+                .expect("channel poisoned")
+                .receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Wake blocked receivers so they observe disconnection.
+                drop(state);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::deque::{Injector, Steal};
@@ -139,6 +317,52 @@ mod tests {
         })
         .expect("scope ok");
         assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn bounded_channel_round_trips_fifo() {
+        let (tx, rx) = super::channel::bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(rx.recv(), Err(super::channel::RecvError));
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        // Capacity 1: the producer cannot run ahead of the consumer by
+        // more than one element.
+        let (tx, rx) = super::channel::bounded(1);
+        let peak = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            let producer_peak = std::sync::Arc::clone(&peak);
+            s.spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                    producer_peak.fetch_max(i, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+            let mut got = 0;
+            for (want, v) in rx.iter().enumerate() {
+                assert_eq!(want, v);
+                // The producer can be at most 2 ahead (one in flight,
+                // one being sent) of what we've consumed.
+                let sent = peak.load(std::sync::atomic::Ordering::Relaxed);
+                assert!(sent <= want + 2, "producer ran ahead: {sent} > {want} + 2");
+                got += 1;
+            }
+            assert_eq!(got, 100);
+        });
+    }
+
+    #[test]
+    fn channel_send_fails_when_receivers_gone() {
+        let (tx, rx) = super::channel::bounded::<u32>(2);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(super::channel::SendError(7)));
     }
 
     #[test]
