@@ -39,6 +39,6 @@ pub use cache::{CacheProbe, ResultCache};
 pub use engine::{BatchOutcome, BatchStats, Engine, EngineConfig, JobFailure};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use job::{HwSpec, JobResult, JobSpec, WorkloadSpec, SIM_VERSION};
-pub use stream::{StreamOutcome, StreamStats};
 pub use journal::Journal;
 pub use key::ContentKey;
+pub use stream::{StreamOutcome, StreamStats};

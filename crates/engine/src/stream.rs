@@ -132,7 +132,8 @@ impl Engine {
         let specs = specs.into_iter();
         let fold = &fold;
 
-        let (spec_tx, spec_rx) = channel::bounded::<(u64, JobSpec)>(workers * SPECS_AHEAD_PER_WORKER);
+        let (spec_tx, spec_rx) =
+            channel::bounded::<(u64, JobSpec)>(workers * SPECS_AHEAD_PER_WORKER);
         let (tick_tx, tick_rx) = channel::bounded::<Result<(), JobFailure>>(workers * 4);
 
         let scope_outcome = crossbeam::thread::scope(|s| {
@@ -201,15 +202,16 @@ impl Engine {
                         let mut attempt = 0u32;
                         let outcome = loop {
                             attempt += 1;
-                            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                if faults.worker_panic(key, attempt) {
-                                    panic!(
-                                        "injected fault: worker panic \
+                            let run =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    if faults.worker_panic(key, attempt) {
+                                        panic!(
+                                            "injected fault: worker panic \
                                          (job {key}, attempt {attempt})"
-                                    );
-                                }
-                                spec.execute()
-                            }));
+                                        );
+                                    }
+                                    spec.execute()
+                                }));
                             match run {
                                 Ok(r) => break Ok(r),
                                 Err(payload) if attempt > max_retries => {
@@ -237,10 +239,7 @@ impl Engine {
                                 message,
                             }),
                         };
-                        wm.observe_log(
-                            "job_latency_us",
-                            job_started.elapsed().as_secs_f64() * 1e6,
-                        );
+                        wm.observe_log("job_latency_us", job_started.elapsed().as_secs_f64() * 1e6);
                         if tick_tx.send(tick).is_err() {
                             break;
                         }

@@ -1,6 +1,6 @@
 //! `repro bench`: a self-contained performance-regression harness.
 //!
-//! One invocation measures five numbers that bracket the repo's
+//! One invocation measures six numbers that bracket the repo's
 //! performance envelope and writes them as `BENCH_<n>.json` (plus a
 //! `BENCH_latest.json` alias for tooling):
 //!
@@ -19,9 +19,12 @@
 //! - **fleet stream** — a seeded device population pushed through
 //!   [`engine::Engine::run_stream`], rated in devices per second (the
 //!   streaming path's end-to-end throughput, including population
-//!   generation and sketch folding).
+//!   generation and sketch folding);
+//! - **optgap** — the optimality-gap suite ([`crate::optgap_cmd`]):
+//!   trace recording, YDS critical intervals, and the online canon,
+//!   rated in result rows per second.
 //!
-//! The report's flat `"gate"` object holds the five throughput
+//! The report's flat `"gate"` object holds the six throughput
 //! numbers. `repro bench --baseline <file>` re-reads a previous
 //! report's gate and fails (exit code 1) when any metric regresses
 //! more than `--bench-tolerance` percent — wall-clock throughput is
@@ -71,6 +74,8 @@ pub struct BenchConfig {
     pub trace_secs: u64,
     /// Devices streamed through the fleet phase (1-second runs each).
     pub fleet_devices: u64,
+    /// Seconds of work trace per benchmark in the optgap phase.
+    pub optgap_secs: u64,
     /// Engine state root. `None` uses (and afterwards removes) a
     /// process-scoped temp directory, guaranteeing a cold start.
     pub state_root: Option<PathBuf>,
@@ -88,6 +93,7 @@ impl Default for BenchConfig {
             warm_rounds: 50,
             trace_secs: 3,
             fleet_devices: 2_000,
+            optgap_secs: 5,
             state_root: None,
         }
     }
@@ -194,6 +200,17 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
     let population = fleet::PopulationConfig::new(cfg.fleet_devices, cfg.seed);
     let fleet_out = fleet::run(&Engine::new(engine_config()), "bench-fleet", &population);
 
+    // Phase 6: optgap — trace recording plus the exact-optimum and
+    // online-canon computations, end to end (no filesystem output).
+    let optgap_cfg = crate::optgap_cmd::OptgapConfig {
+        seed: cfg.seed,
+        secs: cfg.optgap_secs,
+        ..crate::optgap_cmd::OptgapConfig::default()
+    };
+    let optgap_started = Instant::now();
+    let optgap = crate::optgap_cmd::run(&optgap_cfg);
+    let optgap_us = optgap_started.elapsed().as_micros() as u64;
+
     if scratch {
         let _ = std::fs::remove_dir_all(&root);
     }
@@ -212,6 +229,10 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
         (
             "trace_events_per_sec",
             rate_per_sec(trace.events as u64, trace_us),
+        ),
+        (
+            "optgap_rows_per_sec",
+            rate_per_sec(optgap.rows.len() as u64, optgap_us),
         ),
     ]
     .into_iter()
@@ -325,6 +346,16 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
         gate["fleet_devices_per_sec"]
     );
     json.push_str("  },\n");
+    json.push_str("  \"optgap\": {\n");
+    let _ = writeln!(json, "    \"secs\": {},", cfg.optgap_secs);
+    let _ = writeln!(json, "    \"rows\": {},", optgap.rows.len());
+    let _ = writeln!(json, "    \"wall_us\": {optgap_us},");
+    let _ = writeln!(
+        json,
+        "    \"rows_per_sec\": {:.6}",
+        gate["optgap_rows_per_sec"]
+    );
+    json.push_str("  },\n");
     json.push_str("  \"gate\": {\n");
     for (i, (k, v)) in gate.iter().enumerate() {
         let comma = if i + 1 < gate.len() { "," } else { "" };
@@ -369,6 +400,13 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
         fleet_out.stats.elapsed_us as f64 / 1e6,
         gate["fleet_devices_per_sec"],
         fleet_out.metrics.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+    );
+    let _ = writeln!(
+        summary,
+        "optgap: {} rows in {:.2} s -> {:.1} rows/s",
+        optgap.rows.len(),
+        optgap_us as f64 / 1e6,
+        gate["optgap_rows_per_sec"],
     );
 
     BenchReport {
@@ -484,6 +522,7 @@ mod tests {
             warm_rounds: 1,
             trace_secs: 1,
             fleet_devices: 8,
+            optgap_secs: 1,
             ..BenchConfig::default()
         }
     }
@@ -498,13 +537,14 @@ mod tests {
             "\"hot_loop\"",
             "\"trace_export\"",
             "\"fleet\"",
+            "\"optgap\"",
             "\"gate\"",
             "\"profiler_overhead_pct\"",
             "\"stages\"",
         ] {
             assert!(report.json.contains(section), "missing {section}");
         }
-        assert_eq!(report.gate.len(), 5);
+        assert_eq!(report.gate.len(), 6);
         for (metric, &value) in &report.gate {
             assert!(value > 0.0, "{metric} = {value}");
         }

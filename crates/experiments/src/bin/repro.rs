@@ -2,14 +2,15 @@
 //!
 //! ```text
 //! repro [--seed N] [--jobs N] [--resume] [--no-cache] [--quiet | -v]
-//!       [--sweep-secs N] [--trace-secs N] [--fault-plan SPEC] [--profile]
+//!       [--sweep-secs N] [--trace-secs N] [--optgap-secs N]
+//!       [--fault-plan SPEC] [--profile]
 //!       [--baseline FILE] [--bench-tolerance PCT] [--bench-iters N]
 //!       [--devices N] [--device-secs N]
 //!       [all | fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!        table1 table2 table3 battery sa2 cost
 //!        sweep sweep-full deadline ablation govil elastic
 //!        tracedriven timescale summary oracle memprobe modern spectrum
-//!        trace bench fleet]
+//!        optgap trace bench fleet]
 //! ```
 //!
 //! Results are printed (tables + ASCII charts) and saved as CSV under
@@ -40,6 +41,10 @@
 //!   instead of re-simulating its completed cells.
 //! - `--sweep-secs N` — override seconds simulated per sweep cell
 //!   (shrinks `sweep` for smoke tests, stretches it for studies).
+//! - `--optgap-secs N` — seconds of work trace recorded per benchmark
+//!   for the `optgap` optimality-gap experiment (default 30). Like
+//!   `trace`, optgap's whole output — `metrics.json` included — is a
+//!   pure function of `--seed`.
 //! - `--fault-plan SPEC` — run the batch under deterministic fault
 //!   injection (see EXPERIMENTS.md). `SPEC` is either the preset
 //!   `chaos:<seed>` or explicit `key=value` pairs, e.g.
@@ -147,6 +152,12 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let optgap_secs: Option<u64> = take_value_flag(&mut args, "--optgap-secs").map(|v| {
+        v.parse().unwrap_or_else(|e| {
+            eprintln!("bad --optgap-secs value: {e}");
+            std::process::exit(2);
+        })
+    });
     let devices: Option<u64> = take_value_flag(&mut args, "--devices").map(|v| {
         v.parse().unwrap_or_else(|e| {
             eprintln!("bad --devices value: {e}");
@@ -234,6 +245,7 @@ fn main() {
             "memprobe",
             "modern",
             "spectrum",
+            "optgap",
             "sweep",
         ]
     } else {
@@ -390,6 +402,19 @@ fn main() {
                 r.save().expect("save oracle");
                 println!("{r}");
             }
+            "optgap" => {
+                let mut cfg = optgap_cmd::OptgapConfig {
+                    seed: SEED,
+                    ..optgap_cmd::OptgapConfig::default()
+                };
+                if let Some(secs) = optgap_secs {
+                    cfg.secs = secs;
+                }
+                let r = optgap_cmd::run(&cfg);
+                r.save().expect("save optgap");
+                println!("{r}");
+                print_metrics(&r.metrics);
+            }
             "summary" => {
                 let r = summary::run(SEED);
                 r.save().expect("save summary");
@@ -460,7 +485,10 @@ fn main() {
                 print!("{}", fleet::digest(&artifacts.outcome.acc));
                 println!(
                     "    engine: {} devices streamed on {} worker(s), {} failed -> {:.0} devices/s",
-                    stats.total, stats.workers, stats.failed, stats.devices_per_sec()
+                    stats.total,
+                    stats.workers,
+                    stats.failed,
+                    stats.devices_per_sec()
                 );
                 print_metrics(&artifacts.outcome.metrics);
                 println!(

@@ -38,6 +38,7 @@
 //! | `memprobe` | lmbench-style validation of Table 3 through the execution path |
 //! | `modern` | the paper's policy vs Linux cpufreq ondemand/conservative |
 //! | `spectrum` | measured MPEG utilization spectrum: frame lines vs AVG_N |
+//! | `optgap` | exact YDS optimum vs the online speed-scaling canon |
 //! | `trace` | deterministic structured-event export (CSV + Chrome JSON) |
 //!
 //! Not a paper artifact but run the same way: `repro bench`
@@ -60,6 +61,7 @@ pub mod fleet_cmd;
 pub mod govil_exp;
 pub mod memprobe;
 pub mod modern;
+pub mod optgap_cmd;
 pub mod oracle_exp;
 pub mod plot;
 pub mod report;

@@ -33,8 +33,8 @@ fn run_fleet(tag: &str, devices: &str, extra: &[&str]) -> (String, String) {
     );
     let summary = std::fs::read_to_string(dir.join("fleet").join("population_summary.txt"))
         .expect("summary written");
-    let metrics = std::fs::read_to_string(dir.join("fleet").join("metrics.json"))
-        .expect("metrics written");
+    let metrics =
+        std::fs::read_to_string(dir.join("fleet").join("metrics.json")).expect("metrics written");
     let _ = std::fs::remove_dir_all(&dir);
     (summary, metrics)
 }
@@ -66,7 +66,12 @@ fn summary_bytes_survive_cache_state_and_chaos() {
     let (chaotic, _) = run_fleet(
         "chaos",
         "40",
-        &["--jobs", "4", "--fault-plan", "seed=3,panic=0.5,max_panics=20"],
+        &[
+            "--jobs",
+            "4",
+            "--fault-plan",
+            "seed=3,panic=0.5,max_panics=20",
+        ],
     );
     assert_eq!(plain, chaotic, "chaos with retries must not change bytes");
 }

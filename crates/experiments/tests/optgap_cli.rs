@@ -1,0 +1,100 @@
+//! End-to-end determinism and invariant checks for `repro optgap`.
+//!
+//! The optimality-gap experiment promises that its whole output —
+//! `optgap.csv` *and* `metrics.json` — is a pure function of the seed:
+//! independent of `--jobs`, cache state, and wall-clock. These tests
+//! run the real binary and compare bytes.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn results_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("itsy-dvs-optgap-test-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs `repro optgap --optgap-secs 2` into a fresh results dir and
+/// returns `(optgap.csv, metrics.json)`.
+fn run_optgap(tag: &str, jobs: &str) -> (String, String) {
+    let dir = results_dir(tag);
+    let out = repro()
+        .env("REPRO_RESULTS_DIR", &dir)
+        .args(["--jobs", jobs, "--optgap-secs", "2", "optgap"])
+        .output()
+        .expect("repro runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let csv = std::fs::read_to_string(dir.join("optgap").join("optgap.csv")).unwrap();
+    let metrics = std::fs::read_to_string(dir.join("optgap").join("metrics.json")).unwrap();
+    (csv, metrics)
+}
+
+#[test]
+fn bytes_are_identical_across_worker_counts_and_reruns() {
+    let (csv1, m1) = run_optgap("j1", "1");
+    let (csv3, m3) = run_optgap("j3", "3");
+    assert_eq!(csv1, csv3, "CSV must not depend on --jobs");
+    assert_eq!(m1, m3, "metrics.json must not depend on --jobs");
+    // Re-running into the same (now warm) tree changes nothing.
+    let (csv1b, m1b) = run_optgap("j1", "2");
+    assert_eq!(csv1, csv1b, "CSV must not depend on prior runs");
+    assert_eq!(m1, m1b, "metrics.json must not depend on prior runs");
+}
+
+#[test]
+fn csv_rows_respect_the_lower_bound_and_feasibility() {
+    let (csv, metrics) = run_optgap("bound", "2");
+    let mut lines = csv.lines();
+    let header = lines.next().expect("header row");
+    assert_eq!(
+        header,
+        "benchmark,algorithm,alpha,jobs,energy,opt_energy,energy_vs_opt,\
+         max_speed,deadline_feasible,speed_switches"
+    );
+    let mut data_rows = 0u64;
+    for line in lines {
+        let cols: Vec<&str> = line.split(',').collect();
+        assert_eq!(cols.len(), 10, "bad row: {line}");
+        let algorithm = cols[1];
+        let ratio: f64 = cols[6].parse().unwrap();
+        let feasible = cols[8];
+        data_rows += 1;
+        match algorithm {
+            "OPT" => {
+                assert_eq!(cols[6], "1.000000", "OPT normalizes to itself: {line}");
+                assert_eq!(feasible, "true");
+            }
+            "OPT(Itsy)" => {
+                assert!(ratio >= 1.0 - 1e-9, "quantization saved energy: {line}");
+                assert_eq!(feasible, "true", "derived sets fit the step table");
+            }
+            "OA" | "AVR" | "BKP" | "qOA" => {
+                assert!(ratio >= 1.0 - 1e-6, "{algorithm} beat the optimum: {line}");
+                assert_eq!(feasible, "true", "{algorithm} missed a deadline: {line}");
+            }
+            "PAST" | "AVG_3" => {
+                // Interval schedulers are deadline-blind; their rows
+                // just have to be well-formed.
+                assert!(ratio > 0.0, "bad ratio: {line}");
+                assert!(feasible == "true" || feasible == "false");
+            }
+            other => panic!("unexpected algorithm {other}: {line}"),
+        }
+    }
+    // 4 benchmarks x 2 alphas x 8 algorithms.
+    assert_eq!(data_rows, 64);
+    assert!(metrics.contains("\"batch\": \"optgap\""));
+    assert!(metrics.contains("\"total\": 64"));
+    assert!(
+        metrics.contains("\"wall_us\": 0"),
+        "wall-clock fields must stay zeroed for byte-determinism"
+    );
+}

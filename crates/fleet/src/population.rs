@@ -104,7 +104,7 @@ impl PopulationConfig {
         let trace_seed = rng.next_u64();
         JobSpec::new(
             WorkloadSpec::Benchmark(workload),
-            self.policy.clone(),
+            self.policy,
             self.device_secs,
             trace_seed,
         )
@@ -171,11 +171,7 @@ mod tests {
         let b = PopulationConfig::new(16, 1);
         assert!(a.stream().eq(b.stream()), "same seed, same population");
         let c = PopulationConfig::new(16, 2);
-        let differing = a
-            .stream()
-            .zip(c.stream())
-            .filter(|(x, y)| x != y)
-            .count();
+        let differing = a.stream().zip(c.stream()).filter(|(x, y)| x != y).count();
         assert!(differing > 12, "reseeding must move nearly every device");
     }
 

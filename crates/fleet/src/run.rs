@@ -105,10 +105,7 @@ mod tests {
         assert_eq!(one.stats.executed, 10);
         assert_eq!(one.acc.devices(), 10);
         // Battery metric only covers battery-powered devices.
-        let battery_n = one
-            .acc
-            .metric("battery_remaining")
-            .map_or(0, |h| h.count());
+        let battery_n = one.acc.metric("battery_remaining").map_or(0, |h| h.count());
         assert!(battery_n <= 10);
         assert_eq!(one.acc.metric("energy_j").unwrap().count(), 10);
         for jobs in [4, 8] {

@@ -62,10 +62,7 @@ impl WorkerMetrics {
     /// unbounded wall-clock quantities (latencies, service times) whose
     /// range isn't known up front.
     pub fn observe_log(&mut self, name: &'static str, value: f64) {
-        self.log_hists
-            .entry(name)
-            .or_default()
-            .record(value);
+        self.log_hists.entry(name).or_default().record(value);
     }
 
     /// Log-bucketed histogram `name`, if anything was ever observed
@@ -86,10 +83,7 @@ impl WorkerMetrics {
                 .merge(h);
         }
         for (&name, h) in &other.log_hists {
-            self.log_hists
-                .entry(name)
-                .or_default()
-                .merge(h);
+            self.log_hists.entry(name).or_default().merge(h);
         }
     }
 

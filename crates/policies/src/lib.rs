@@ -21,7 +21,11 @@
 //! (OPT, FUTURE, and the original unfinished-work PAST) which need
 //! information a real kernel does not have — the paper's argument for
 //! why they are not implementable — but which a simulator can compute
-//! for comparison.
+//! for comparison. [`scaling`] goes beyond the paper entirely: an
+//! explicit deadline-job model with the exact offline optimum (YDS
+//! critical intervals, discretizable onto the Itsy's clock steps) and
+//! the modern online speed-scaling canon (OA, AVR, BKP, qOA) under a
+//! parameterized power model `P(s) = s^α`.
 //!
 //! # Example
 //!
@@ -53,6 +57,7 @@ pub mod governor;
 pub mod govil;
 pub mod oracle;
 pub mod predictor;
+pub mod scaling;
 pub mod simple;
 pub mod speed;
 
@@ -65,5 +70,6 @@ pub use governor::{
 pub use govil::{AgedAverage, Cycle, Flat, LongShort, Pattern, Peak};
 pub use oracle::{TraceSchedule, WorkTrace};
 pub use predictor::{AvgN, Past, Predictor, SlidingWindowAvg};
+pub use scaling::{Job, JobSet, PowerModel, Schedule, SpeedSegment};
 pub use simple::NonIdleCycleAvg;
 pub use speed::SpeedChange;

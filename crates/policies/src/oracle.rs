@@ -13,9 +13,16 @@
 //! comparison baselines.
 //!
 //! Speeds here are continuous fractions of the maximum clock, as in
-//! Weiser's original study; relative energy uses the voltage-scaling
-//! assumption `V ∝ f`, i.e. energy-per-cycle ∝ `speed²`.
+//! Weiser's original study. Energy accounting goes through the
+//! parameterized power model of [`crate::scaling`]: the default
+//! [`opt`]/[`future`]/[`weiser_past`] entry points use
+//! [`PowerModel::weiser`] (`α = 2`, the voltage-scaling assumption
+//! `V ∝ f`, i.e. energy-per-cycle ∝ `speed²`, reproducing the
+//! historical numbers exactly), while the `*_with` variants accept any
+//! exponent — the optimality-gap experiment runs the same oracles
+//! under the cube rule `α = 3`.
 
+use crate::scaling::PowerModel;
 use serde::{Deserialize, Serialize};
 
 /// A recorded per-interval work trace. Entry `w ∈ [0, 1]` is the work
@@ -97,10 +104,6 @@ fn run_interval(offered: f64, backlog: f64, speed: f64) -> (f64, f64) {
     (executed, pending - executed)
 }
 
-fn energy_of(executed: f64, speed: f64) -> f64 {
-    executed * speed * speed
-}
-
 /// Minimum speed floor: Weiser's simulations never let the clock go
 /// below a fraction of maximum; we use the Itsy's 59/206.4 ratio.
 pub const MIN_SPEED: f64 = 59.0 / 206.4;
@@ -108,8 +111,13 @@ pub const MIN_SPEED: f64 = 59.0 / 206.4;
 /// OPT: perfect future knowledge — run the whole trace at the constant
 /// speed that just finishes all work by the end (clamped to
 /// [`MIN_SPEED`], 1.0]). Work may be deferred arbitrarily far, so the
-/// constant mean is always feasible.
+/// constant mean is always feasible. Energy at `α = 2`.
 pub fn opt(trace: &WorkTrace) -> TraceSchedule {
+    opt_with(trace, &PowerModel::weiser())
+}
+
+/// [`opt`] with energy accounted under an arbitrary power model.
+pub fn opt_with(trace: &WorkTrace, power: &PowerModel) -> TraceSchedule {
     let speed = trace.mean_work().clamp(MIN_SPEED, 1.0);
     let mut backlog = 0.0;
     let mut speeds = Vec::with_capacity(trace.len());
@@ -118,7 +126,7 @@ pub fn opt(trace: &WorkTrace) -> TraceSchedule {
     for &w in trace.intervals() {
         let (executed, b) = run_interval(w, backlog, speed);
         backlog = b;
-        energy += energy_of(executed, speed);
+        energy += power.energy(executed, speed);
         speeds.push(speed);
         backlogs.push(backlog);
     }
@@ -132,7 +140,13 @@ pub fn opt(trace: &WorkTrace) -> TraceSchedule {
 
 /// FUTURE: peeks exactly one interval ahead — each interval runs at the
 /// minimum speed that clears the backlog plus that interval's own work.
+/// Energy at `α = 2`.
 pub fn future(trace: &WorkTrace) -> TraceSchedule {
+    future_with(trace, &PowerModel::weiser())
+}
+
+/// [`future`] with energy accounted under an arbitrary power model.
+pub fn future_with(trace: &WorkTrace, power: &PowerModel) -> TraceSchedule {
     let mut backlog = 0.0;
     let mut speeds = Vec::with_capacity(trace.len());
     let mut backlogs = Vec::with_capacity(trace.len());
@@ -141,7 +155,7 @@ pub fn future(trace: &WorkTrace) -> TraceSchedule {
         let speed = (w + backlog).clamp(MIN_SPEED, 1.0);
         let (executed, b) = run_interval(w, backlog, speed);
         backlog = b;
-        energy += energy_of(executed, speed);
+        energy += power.energy(executed, speed);
         speeds.push(speed);
         backlogs.push(backlog);
     }
@@ -157,8 +171,14 @@ pub fn future(trace: &WorkTrace) -> TraceSchedule {
 /// cycles") feedback: if the previous interval left a backlog, speed up
 /// enough to clear it; otherwise nudge the speed up 20 % of maximum when
 /// the previous interval was busier than 70 %, and ease it down when it
-/// was under 50 % busy.
+/// was under 50 % busy. Energy at `α = 2`.
 pub fn weiser_past(trace: &WorkTrace) -> TraceSchedule {
+    weiser_past_with(trace, &PowerModel::weiser())
+}
+
+/// [`weiser_past`] with energy accounted under an arbitrary power
+/// model.
+pub fn weiser_past_with(trace: &WorkTrace, power: &PowerModel) -> TraceSchedule {
     let mut backlog = 0.0;
     let mut speed: f64 = 1.0;
     let mut speeds = Vec::with_capacity(trace.len());
@@ -168,7 +188,7 @@ pub fn weiser_past(trace: &WorkTrace) -> TraceSchedule {
         let (executed, b) = run_interval(w, backlog, speed);
         // Utilization the kernel would have observed this interval.
         let util = (executed / speed).clamp(0.0, 1.0);
-        energy += energy_of(executed, speed);
+        energy += power.energy(executed, speed);
         speeds.push(speed);
         backlogs.push(b);
         // Choose next interval's speed from what just happened.
@@ -296,6 +316,51 @@ mod tests {
                 s.name
             );
         }
+    }
+
+    #[test]
+    fn alpha2_regression_pins_the_historical_energies() {
+        // The trio's energies on the section-5.3 square trace have been
+        // stable since the module was written; parameterizing α must
+        // not move them. OPT: 108 units of work at the 0.54 mean speed
+        // = 108·0.54². FUTURE: every busy interval runs its 0.6 exactly
+        // = 108·0.6². PAST's feedback loop is pinned numerically.
+        let t = square_trace();
+        let (e_opt, e_future, e_past) = (opt(&t).energy, future(&t).energy, weiser_past(&t).energy);
+        assert!((e_opt - 31.4928).abs() < 1e-9, "OPT moved: {e_opt}");
+        assert!((e_future - 38.88).abs() < 1e-9, "FUTURE moved: {e_future}");
+        assert!(
+            (e_past - PAST_SQUARE_ENERGY).abs() < 1e-9,
+            "PAST moved: {e_past:.17}"
+        );
+    }
+
+    /// `weiser_past` energy on `square_trace` at α = 2, pinned.
+    const PAST_SQUARE_ENERGY: f64 = 88.848;
+
+    #[test]
+    fn default_entry_points_are_exactly_alpha2() {
+        let t = square_trace();
+        let power = PowerModel::weiser();
+        assert_eq!(opt(&t), opt_with(&t, &power));
+        assert_eq!(future(&t), future_with(&t, &power));
+        assert_eq!(weiser_past(&t), weiser_past_with(&t, &power));
+    }
+
+    #[test]
+    fn cube_rule_reweights_but_keeps_the_ordering() {
+        // α = 3 penalizes high speeds harder; speeds are unchanged
+        // (the policies do not consult the power model), so the
+        // OPT ≤ FUTURE ≤ PAST ordering survives.
+        let t = square_trace();
+        let cube = PowerModel::cube();
+        let e_opt = opt_with(&t, &cube);
+        let e_future = future_with(&t, &cube);
+        let e_past = weiser_past_with(&t, &cube);
+        assert_eq!(e_opt.speeds, opt(&t).speeds);
+        assert!((e_opt.energy - 108.0 * 0.54f64.powi(3)).abs() < 1e-9);
+        assert!(e_opt.energy <= e_future.energy + 1e-9);
+        assert!(e_future.energy <= e_past.energy + 1e-9);
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Golden fixtures for the speed-scaling module: small instances whose
+//! optimal schedules are worked out by hand, pinned as exact segment
+//! lists and energies. If `yds` or the discretization drifts, these
+//! say precisely where.
+
+use policies::scaling::{
+    avr, bkp, edf_feasible, itsy_step_speeds, oa, qoa_for, quantize_to_steps, yds, yds_on_steps,
+    Job, JobSet, PowerModel,
+};
+
+fn assert_close(got: f64, want: f64, what: &str) {
+    assert!((got - want).abs() < 1e-9, "{what}: got {got}, want {want}");
+}
+
+fn assert_segment(
+    s: &policies::SpeedSegment,
+    start: f64,
+    end: f64,
+    speed: f64,
+    executed: f64,
+    what: &str,
+) {
+    assert_close(s.start, start, &format!("{what} start"));
+    assert_close(s.end, end, &format!("{what} end"));
+    assert_close(s.speed, speed, &format!("{what} speed"));
+    assert_close(s.executed, executed, &format!("{what} executed"));
+}
+
+/// One job of 5 units across [0, 10]: the optimum spreads it at speed
+/// 1/2 — which happens to be exactly the Itsy's 103.2 MHz step, so
+/// discretization is free here.
+#[test]
+fn single_job_spreads_across_its_window() {
+    let set = JobSet::new(vec![Job::new(0.0, 10.0, 5.0)]);
+    let opt = yds(&set);
+    assert_eq!(opt.segments.len(), 1);
+    assert_segment(&opt.segments[0], 0.0, 10.0, 0.5, 5.0, "only segment");
+    assert_close(opt.max_speed, 0.5, "max speed");
+    assert_close(opt.energy(&PowerModel::weiser()), 1.25, "energy α=2");
+    assert_close(opt.energy(&PowerModel::cube()), 0.625, "energy α=3");
+    assert!(edf_feasible(&set, &opt.segments));
+
+    let q = yds_on_steps(&set, &itsy_step_speeds());
+    assert!(q.feasible);
+    assert_close(q.segments[0].speed, 103.2 / 206.4, "quantized speed");
+    assert_close(
+        q.energy(&PowerModel::weiser()),
+        opt.energy(&PowerModel::weiser()),
+        "on-step optimum pays no quantization penalty",
+    );
+}
+
+/// Two nested jobs: 4 units on [0, 10] around 4 units on [2, 6]. The
+/// critical interval is [2, 6] at speed 1; the outer job then spreads
+/// its work over the remaining axis [0, 2] ∪ [6, 10] at 4/6.
+#[test]
+fn nested_jobs_carve_out_the_critical_interval() {
+    let set = JobSet::new(vec![Job::new(0.0, 10.0, 4.0), Job::new(2.0, 6.0, 4.0)]);
+    let opt = yds(&set);
+    assert_eq!(opt.segments.len(), 3, "segments: {:?}", opt.segments);
+    assert_segment(&opt.segments[0], 0.0, 2.0, 4.0 / 6.0, 8.0 / 6.0, "left");
+    assert_segment(&opt.segments[1], 2.0, 6.0, 1.0, 4.0, "critical");
+    assert_segment(&opt.segments[2], 6.0, 10.0, 4.0 / 6.0, 16.0 / 6.0, "right");
+    assert_close(opt.max_speed, 1.0, "max speed");
+    // E = 4·1² + 4·(2/3)² = 4 + 16/9.
+    assert_close(opt.energy(&PowerModel::weiser()), 4.0 + 16.0 / 9.0, "α=2");
+    // E = 4·1³ + 4·(2/3)³ = 4 + 32/27.
+    assert_close(opt.energy(&PowerModel::cube()), 4.0 + 32.0 / 27.0, "α=3");
+    assert!(edf_feasible(&set, &opt.segments));
+}
+
+/// The worked three-job critical-interval example: a 12-unit burst on
+/// [4, 10] forces speed 2, a small job on [12, 16] runs at 1/2 on what
+/// remains, and the long background job fills the leftover axis
+/// [0, 4] ∪ [10, 12] ∪ [16, 20] at 1/5. Three rounds of the
+/// construction, each visible as its own speed level.
+#[test]
+fn three_round_critical_interval_example() {
+    let set = JobSet::new(vec![
+        Job::new(0.0, 20.0, 2.0),
+        Job::new(4.0, 10.0, 12.0),
+        Job::new(12.0, 16.0, 2.0),
+    ]);
+    let opt = yds(&set);
+    assert_eq!(opt.segments.len(), 5, "segments: {:?}", opt.segments);
+    assert_segment(&opt.segments[0], 0.0, 4.0, 0.2, 0.8, "background left");
+    assert_segment(&opt.segments[1], 4.0, 10.0, 2.0, 12.0, "burst");
+    assert_segment(&opt.segments[2], 10.0, 12.0, 0.2, 0.4, "background mid");
+    assert_segment(&opt.segments[3], 12.0, 16.0, 0.5, 2.0, "small job");
+    assert_segment(&opt.segments[4], 16.0, 20.0, 0.2, 0.8, "background right");
+    assert_close(opt.max_speed, 2.0, "max speed");
+    // E(α=2) = 12·4 + 2·0.25 + 2·0.04 = 48.58.
+    assert_close(opt.energy(&PowerModel::weiser()), 48.58, "α=2");
+    assert!(edf_feasible(&set, &opt.segments));
+    // Speed 2 exceeds the fastest clock: the Itsy cannot run this one.
+    let q = quantize_to_steps(&opt, &itsy_step_speeds());
+    assert!(!q.feasible, "a speed-2 burst must be flagged infeasible");
+}
+
+/// Quantization pays exactly the round-up-to-next-step penalty: 5.5
+/// units over [0, 10] needs speed 0.55, between the 103.2 and
+/// 118.0 MHz steps, so the discretized optimum runs at 118.0/206.4.
+#[test]
+fn quantization_rounds_to_the_next_itsy_step() {
+    let set = JobSet::new(vec![Job::new(0.0, 10.0, 5.5)]);
+    let steps = itsy_step_speeds();
+    let q = yds_on_steps(&set, &steps);
+    assert!(q.feasible);
+    let step = 118.0 / 206.4;
+    assert_close(q.segments[0].speed, step, "rounded speed");
+    assert_close(
+        q.energy(&PowerModel::weiser()),
+        5.5 * step * step,
+        "quantized energy α=2",
+    );
+    assert!(edf_feasible(&set, &q.segments));
+}
+
+/// On a single job, OA and AVR both coincide with the optimum (their
+/// defining quantities equal the job's density), while qOA and BKP
+/// deliberately over-provision.
+#[test]
+fn online_algorithms_on_a_single_job() {
+    let set = JobSet::new(vec![Job::new(0.0, 10.0, 5.0)]);
+    let power = PowerModel::weiser();
+    let e_opt = yds(&set).energy(&power);
+    for s in [oa(&set), avr(&set)] {
+        assert!(s.feasible, "{} missed the deadline", s.name);
+        assert_close(
+            s.energy(&power),
+            e_opt,
+            &format!("{} matches OPT on one job", s.name),
+        );
+    }
+    for s in [qoa_for(&set, &power), bkp(&set)] {
+        assert!(s.feasible, "{} missed the deadline", s.name);
+        assert!(
+            s.energy(&power) > e_opt + 1e-9,
+            "{} should over-provision on one job",
+            s.name
+        );
+    }
+}
+
+/// Two sequential equal jobs inside one merged optimal segment: the
+/// on-steps replay must not pull the second job's work forward past
+/// its release (the naive "compress to the front" discretization would
+/// — this pins the regression).
+#[test]
+fn sequential_jobs_stay_feasible_after_quantization() {
+    // Speeds: each job needs 0.45 over its half; merged segment [0, 10]
+    // at 0.45 rounds up to 0.5 (103.2 MHz) with idle slack.
+    let set = JobSet::new(vec![Job::new(0.0, 5.0, 2.25), Job::new(5.0, 10.0, 2.25)]);
+    let opt = yds(&set);
+    assert_eq!(opt.segments.len(), 1, "one merged segment");
+    assert_close(opt.segments[0].speed, 0.45, "merged speed");
+    let q = yds_on_steps(&set, &itsy_step_speeds());
+    assert!(q.feasible);
+    assert!(
+        edf_feasible(&set, &q.segments),
+        "quantized schedule must respect the second release"
+    );
+    assert_close(q.segments[0].speed, 103.2 / 206.4, "rounded speed");
+}

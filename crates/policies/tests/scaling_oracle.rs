@@ -1,0 +1,154 @@
+//! The property-test oracle harness for the speed-scaling module.
+//!
+//! The YDS optimum is an *exact lower bound*: any schedule that
+//! finishes every job inside its window spends at least as much energy
+//! under any convex power model. That turns the offline optimum into
+//! an oracle for the whole online suite — on random feasible job sets,
+//! every algorithm must (a) stay deadline-feasible, (b) conserve work,
+//! and (c) never beat the bound. The discretized optimum must
+//! additionally sit inside the quantization corridor implied by
+//! adjacent Itsy clock steps.
+
+use proptest::prelude::*;
+
+use policies::scaling::{
+    avr, bkp, edf_feasible, itsy_step_speeds, oa, qoa_for, quantize_to_steps, yds, Job, JobSet,
+    PowerModel,
+};
+
+/// Builds a job set from raw `(release, duration, work)` triples and
+/// rescales the works so the continuous optimum stays comfortably
+/// under the Itsy's top speed — keeping every random instance
+/// step-feasible without rejection sampling.
+fn feasible_set(raw: &[(f64, f64, f64)]) -> JobSet {
+    let set = JobSet::new(
+        raw.iter()
+            .map(|&(r, len, w)| Job::new(r, r + len, w))
+            .collect(),
+    );
+    let peak = yds(&set).max_speed;
+    if peak > 0.85 {
+        set.with_work_scaled(0.85 / peak)
+    } else {
+        set
+    }
+}
+
+proptest! {
+    /// The lower-bound invariant: OA, AVR, BKP and qOA all produce
+    /// deadline-feasible, work-conserving schedules that spend at
+    /// least the continuous optimum's energy, at α = 2 and α = 3.
+    #[test]
+    fn online_suite_never_beats_the_exact_optimum(
+        raw in proptest::collection::vec(
+            (0.0f64..40.0, 0.5f64..12.0, 0.05f64..6.0),
+            1..14,
+        ),
+    ) {
+        let set = feasible_set(&raw);
+        let opt = yds(&set);
+        prop_assert!(opt.max_speed <= 0.86);
+        prop_assert!(
+            edf_feasible(&set, &opt.segments),
+            "the optimum itself must be EDF-feasible"
+        );
+        let total = set.total_work();
+        prop_assert!((opt.executed() - total).abs() < 1e-6 * total.max(1.0));
+        for power in [PowerModel::weiser(), PowerModel::cube()] {
+            let e_opt = opt.energy(&power);
+            for s in [avr(&set), oa(&set), qoa_for(&set, &power), bkp(&set)] {
+                prop_assert!(s.feasible, "{} missed a deadline", s.name);
+                prop_assert!(
+                    (s.executed() - total).abs() < 1e-6 * total.max(1.0),
+                    "{} lost work: {} of {total}",
+                    s.name,
+                    s.executed()
+                );
+                let e = s.energy(&power);
+                prop_assert!(
+                    e >= e_opt - 1e-6 * e_opt.max(1e-12),
+                    "{} beat the optimum at α={}: {e} < {e_opt}",
+                    s.name,
+                    power.alpha()
+                );
+            }
+        }
+    }
+
+    /// The discretized optimum sits in the quantization corridor:
+    /// at least the continuous energy, at most what rounding every
+    /// critical interval up by one step can cost —
+    /// `r_max^α · E_cont + W · s0^α`, with `r_max` the largest
+    /// adjacent-step ratio and `s0` the slowest step.
+    #[test]
+    fn quantized_optimum_is_within_the_step_bound(
+        raw in proptest::collection::vec(
+            (0.0f64..40.0, 0.5f64..12.0, 0.05f64..6.0),
+            1..14,
+        ),
+    ) {
+        let set = feasible_set(&raw);
+        let steps = itsy_step_speeds();
+        let r_max = steps
+            .windows(2)
+            .map(|w| w[1] / w[0])
+            .fold(0.0f64, f64::max);
+        let s0 = steps[0];
+        let opt = yds(&set);
+        let q = quantize_to_steps(&opt, &steps);
+        prop_assert!(q.feasible, "scaled instances fit the step table");
+        prop_assert!(
+            edf_feasible(&set, &q.segments),
+            "rounding speeds up must preserve EDF feasibility"
+        );
+        prop_assert!(q.max_speed <= 1.0 + 1e-12);
+        for power in [PowerModel::weiser(), PowerModel::cube()] {
+            let e_cont = opt.energy(&power);
+            let e_q = q.energy(&power);
+            prop_assert!(
+                e_q >= e_cont - 1e-9,
+                "discretization cannot beat the continuous optimum: {e_q} < {e_cont}"
+            );
+            let alpha = power.alpha();
+            let bound = r_max.powf(alpha) * e_cont
+                + set.total_work() * s0.powf(alpha);
+            prop_assert!(
+                e_q <= bound + 1e-6 * bound,
+                "quantization bound violated at α={alpha}: {e_q} > {bound}"
+            );
+        }
+    }
+
+    /// Structural invariants of every schedule the module emits:
+    /// segments are sorted, non-overlapping, inside the job horizon,
+    /// and never claim more work than their capacity.
+    #[test]
+    fn schedules_are_well_formed(
+        raw in proptest::collection::vec(
+            (0.0f64..40.0, 0.5f64..12.0, 0.05f64..6.0),
+            1..10,
+        ),
+    ) {
+        let set = feasible_set(&raw);
+        let power = PowerModel::weiser();
+        let t0 = set.jobs().iter().map(|j| j.release).fold(f64::INFINITY, f64::min);
+        let t1 = set.jobs().iter().map(|j| j.deadline).fold(0.0f64, f64::max);
+        let quantized = quantize_to_steps(&yds(&set), &itsy_step_speeds());
+        for s in [yds(&set), quantized, avr(&set), oa(&set), qoa_for(&set, &power), bkp(&set)] {
+            let mut prev_end = f64::NEG_INFINITY;
+            for seg in &s.segments {
+                prop_assert!(seg.start >= prev_end - 1e-9, "{} overlaps", s.name);
+                prop_assert!(seg.end > seg.start, "{} empty segment", s.name);
+                prop_assert!(seg.start >= t0 - 1e-9 && seg.end <= t1 + 1e-9,
+                    "{} escapes the horizon", s.name);
+                prop_assert!(seg.speed > 0.0, "{} idle segment recorded", s.name);
+                prop_assert!(
+                    seg.executed <= seg.speed * (seg.end - seg.start) + 1e-9,
+                    "{} overfull segment", s.name
+                );
+                prop_assert!(seg.speed <= s.max_speed + 1e-12, "{} max_speed wrong", s.name);
+                prev_end = seg.end;
+            }
+        }
+    }
+}

@@ -125,7 +125,10 @@ impl FleetSummary {
     /// order. Two summaries are equal iff their encodings are
     /// byte-identical.
     pub fn encode(&self) -> String {
-        let mut out = format!("fleet-summary v1 devices={} failed={}\n", self.devices, self.failed);
+        let mut out = format!(
+            "fleet-summary v1 devices={} failed={}\n",
+            self.devices, self.failed
+        );
         for (name, hist) in &self.metrics {
             out.push_str(name);
             out.push('\t');
@@ -235,7 +238,10 @@ mod tests {
         let empty = FleetSummary::new();
         assert_eq!(FleetSummary::decode(&empty.encode()), Some(empty));
         assert_eq!(FleetSummary::decode(""), None);
-        assert_eq!(FleetSummary::decode("fleet-summary v2 devices=0 failed=0\n"), None);
+        assert_eq!(
+            FleetSummary::decode("fleet-summary v2 devices=0 failed=0\n"),
+            None
+        );
         assert_eq!(
             FleetSummary::decode("fleet-summary v1 devices=1 failed=0\nbroken line\n"),
             None

@@ -1,0 +1,123 @@
+//! Deadline-job derivation from recorded work traces.
+//!
+//! The speed-scaling canon (`policies::scaling`) wants jobs — release,
+//! deadline, work — but the simulator records per-interval *work
+//! traces*. This module bridges the two: consecutive scheduling
+//! intervals are grouped into fixed-size chunks, each non-empty chunk
+//! becomes one job released at the chunk's start carrying the chunk's
+//! total work, and the deadline is the chunk's end plus a slack
+//! allowance. The reading: "work that arrived during this 100 ms must
+//! be finished within a further 100 ms" — the latency contract an
+//! interactive device implicitly makes.
+//!
+//! Derived sets are always feasible for the hardware: any candidate
+//! critical interval spanning `m` consecutive chunks carries at most
+//! `m · chunk` work (work fractions are ≤ 1 per interval) across
+//! `m · chunk + slack` intervals of time, so the optimal speed stays
+//! strictly below 1 and rounds up onto the Itsy's step table.
+
+/// One derived job, in scheduling-interval units. Mirrors
+/// `policies::scaling::Job` without taking a dependency on the
+/// policies crate (which depends on workloads only for tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceJob {
+    /// Chunk start, in intervals from the trace start.
+    pub release: f64,
+    /// Chunk end plus slack, in intervals.
+    pub deadline: f64,
+    /// Total work of the chunk, in full-speed-interval units.
+    pub work: f64,
+}
+
+/// Groups a per-interval work trace (fractions of a full-speed
+/// interval, as recorded by the kernel) into deadline jobs: one job
+/// per `chunk_intervals`-sized block with any work in it, due
+/// `slack_intervals` after the block ends. Order follows the trace, so
+/// releases and deadlines are both non-decreasing.
+///
+/// # Panics
+///
+/// Panics if `chunk_intervals` is zero or `slack_intervals` is
+/// negative or non-finite.
+pub fn from_work_trace(
+    work: &[f64],
+    chunk_intervals: usize,
+    slack_intervals: f64,
+) -> Vec<TraceJob> {
+    assert!(chunk_intervals > 0, "chunk must cover at least 1 interval");
+    assert!(
+        slack_intervals.is_finite() && slack_intervals >= 0.0,
+        "slack must be finite and non-negative"
+    );
+    work.chunks(chunk_intervals)
+        .enumerate()
+        .filter_map(|(k, block)| {
+            let total: f64 = block.iter().sum();
+            if total <= 0.0 {
+                return None;
+            }
+            let release = (k * chunk_intervals) as f64;
+            let end = release + block.len() as f64;
+            Some(TraceJob {
+                release,
+                deadline: end + slack_intervals,
+                work: total,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_carry_their_work_and_slacked_deadlines() {
+        let work = [0.5, 1.0, 0.0, 0.0, 0.25, 0.25];
+        let jobs = from_work_trace(&work, 2, 3.0);
+        assert_eq!(jobs.len(), 2, "the all-idle chunk is dropped");
+        assert_eq!(
+            jobs[0],
+            TraceJob {
+                release: 0.0,
+                deadline: 5.0,
+                work: 1.5
+            }
+        );
+        assert_eq!(
+            jobs[1],
+            TraceJob {
+                release: 4.0,
+                deadline: 9.0,
+                work: 0.5
+            }
+        );
+    }
+
+    #[test]
+    fn trailing_partial_chunk_keeps_its_real_length() {
+        let work = [1.0, 1.0, 1.0];
+        let jobs = from_work_trace(&work, 2, 1.0);
+        assert_eq!(jobs.len(), 2);
+        // The last chunk is a single interval: due at 2 + 1 + 1.
+        assert_eq!(jobs[1].release, 2.0);
+        assert_eq!(jobs[1].deadline, 4.0);
+        assert_eq!(jobs[1].work, 1.0);
+    }
+
+    #[test]
+    fn empty_trace_yields_no_jobs() {
+        assert!(from_work_trace(&[], 10, 10.0).is_empty());
+        assert!(from_work_trace(&[0.0, 0.0], 1, 0.0).is_empty());
+    }
+
+    #[test]
+    fn releases_and_deadlines_are_monotone() {
+        let work: Vec<f64> = (0..97).map(|i| f64::from(i % 3) / 3.0).collect();
+        let jobs = from_work_trace(&work, 10, 10.0);
+        for pair in jobs.windows(2) {
+            assert!(pair[0].release < pair[1].release);
+            assert!(pair[0].deadline < pair[1].deadline);
+        }
+    }
+}

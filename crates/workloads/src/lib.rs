@@ -27,10 +27,13 @@
 //!   experiments (the §5.3 oscillation study).
 //! - [`trace`] — timestamped input-event traces: generation, record,
 //!   replay.
+//! - [`jobs`] — derives deadline-job sets from recorded work traces
+//!   for the speed-scaling optimality-gap experiment.
 
 pub mod chess;
 pub mod editor;
 pub mod java;
+pub mod jobs;
 pub mod mpeg;
 pub mod synthetic;
 pub mod trace;
@@ -43,6 +46,7 @@ use sim_core::SimDuration;
 pub use chess::ChessWorkload;
 pub use editor::TalkingEditorWorkload;
 pub use java::JavaPoller;
+pub use jobs::TraceJob;
 pub use mpeg::{MpegConfig, MpegWorkload};
 pub use synthetic::{ConstantLoad, PeriodicBurst, SquareWave};
 pub use trace::{InputEvent, InputTrace};

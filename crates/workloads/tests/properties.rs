@@ -118,3 +118,37 @@ fn benchmarks_are_distinguishable() {
         }
     }
 }
+
+proptest! {
+    /// Job sets derived from any recorded work trace are feasible on
+    /// the Itsy: per-interval work is at most one full-speed interval,
+    /// so no critical interval can demand more than the top clock, and
+    /// the step-quantized optimum schedules them without deadline
+    /// misses.
+    #[test]
+    fn derived_job_sets_fit_the_itsy_steps(
+        work in proptest::collection::vec(0.0f64..=1.0, 1..200),
+        chunk in 1usize..20,
+        slack in 0.0f64..30.0,
+    ) {
+        use policies::scaling::{edf_feasible, itsy_step_speeds, yds, yds_on_steps, Job, JobSet};
+
+        let jobs = workloads::jobs::from_work_trace(&work, chunk, slack);
+        let set = JobSet::new(
+            jobs.iter()
+                .map(|j| Job::new(j.release, j.deadline, j.work))
+                .collect(),
+        );
+        let total: f64 = jobs.iter().map(|j| j.work).sum();
+        prop_assert!((set.total_work() - total).abs() < 1e-9, "derivation conserves work");
+        let opt = yds(&set);
+        prop_assert!(
+            opt.max_speed <= 1.0 + 1e-9,
+            "derived sets never need more than the top clock: {}",
+            opt.max_speed
+        );
+        let q = yds_on_steps(&set, &itsy_step_speeds());
+        prop_assert!(q.feasible);
+        prop_assert!(edf_feasible(&set, &q.segments));
+    }
+}

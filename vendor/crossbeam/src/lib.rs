@@ -208,11 +208,7 @@ pub mod channel {
                     self.shared.not_empty.notify_one();
                     return Ok(());
                 }
-                state = self
-                    .shared
-                    .not_full
-                    .wait(state)
-                    .expect("channel poisoned");
+                state = self.shared.not_full.wait(state).expect("channel poisoned");
             }
         }
     }
@@ -230,11 +226,7 @@ pub mod channel {
                 if state.senders == 0 {
                     return Err(RecvError);
                 }
-                state = self
-                    .shared
-                    .not_empty
-                    .wait(state)
-                    .expect("channel poisoned");
+                state = self.shared.not_empty.wait(state).expect("channel poisoned");
             }
         }
 
