@@ -10,7 +10,7 @@
 use itsy_hw::{
     battery::BatteryParams, Battery, ClockTable, DeviceSet, PowerModel, PowerParams, StepIndex,
 };
-use kernel_sim::{Kernel, KernelConfig, Machine};
+use kernel_sim::{Kernel, KernelConfig, Machine, SimScratch};
 use policies::PolicyDesc;
 use sim_core::SimDuration;
 use workloads::{
@@ -249,8 +249,25 @@ impl JobSpec {
     }
 
     /// Runs the simulation synchronously and summarizes it.
+    ///
+    /// Per-run report buffers come from a thread-local [`SimScratch`]
+    /// arena, so batch and stream workers (each job on some pool
+    /// thread) reuse series allocations across jobs instead of paying
+    /// heap traffic per cell.
     pub fn execute(&self) -> JobResult {
-        self.simulate(false).0
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<SimScratch> =
+                std::cell::RefCell::new(SimScratch::new());
+        }
+        SCRATCH.with(|s| self.simulate(false, false, &mut s.borrow_mut()).0)
+    }
+
+    /// Runs the simulation on the tick-by-tick *reference* kernel loop
+    /// instead of the batched fast path. The differential suite holds
+    /// this result byte-identical to [`JobSpec::execute`]; experiment
+    /// code never calls it.
+    pub fn execute_reference(&self) -> JobResult {
+        self.simulate(false, true, &mut SimScratch::new()).0
     }
 
     /// Runs the simulation with event tracing on and returns both the
@@ -258,14 +275,20 @@ impl JobSpec {
     /// always simulates fresh (the trace is not cached), which is what
     /// makes exports identical across cold and warm caches.
     pub fn execute_traced(&self) -> (JobResult, obs::Trace) {
-        self.simulate(true)
+        self.simulate(true, false, &mut SimScratch::new())
     }
 
-    fn simulate(&self, trace: bool) -> (JobResult, obs::Trace) {
+    fn simulate(
+        &self,
+        trace: bool,
+        reference: bool,
+        scratch: &mut SimScratch,
+    ) -> (JobResult, obs::Trace) {
         let _span = obs::span::enter("simulate");
         let mut config = KernelConfig {
             duration: self.duration,
             trace,
+            reference,
             ..KernelConfig::default()
         };
         if let Some(q) = self.quantum {
@@ -281,7 +304,7 @@ impl JobSpec {
         let mut kernel = Kernel::new(machine, config);
         self.workload.spawn_into(&mut kernel, self.seed);
         kernel.install_policy(self.policy.build(ClockTable::sa1100()));
-        let report = kernel.run();
+        let mut report = kernel.run_scratch(scratch);
 
         let frames_shown = report
             .deadlines
@@ -310,7 +333,9 @@ impl JobSpec {
             sched_dropped: report.sched_log.dropped(),
             battery_remaining: report.battery_remaining.unwrap_or(-1.0),
         };
-        (result, report.trace)
+        let run_trace = std::mem::take(&mut report.trace);
+        scratch.recycle(report);
+        (result, run_trace)
     }
 }
 

@@ -177,6 +177,9 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
     let hit_p = |q: f64| hit_hist.and_then(|h| h.percentile(q)).unwrap_or(0.0);
 
     // Phase 3: hot loop — the simulator core alone, single thread.
+    // Timed twice: the batched kernel (the production path, gated) and
+    // the tick-by-tick reference oracle, so the report carries the
+    // measured batched-vs-reference speedup alongside the throughput.
     let hot_spec = JobSpec::new(
         WorkloadSpec::Benchmark(Benchmark::Mpeg),
         PolicyDesc::best_from_paper(),
@@ -188,6 +191,17 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
         std::hint::black_box(hot_spec.execute());
     }
     let hot_us = hot_started.elapsed().as_micros() as u64;
+    let ref_iters = (cfg.hot_iters / 4).max(1);
+    let ref_started = Instant::now();
+    for _ in 0..ref_iters {
+        std::hint::black_box(hot_spec.execute_reference());
+    }
+    let ref_us = ref_started.elapsed().as_micros() as u64;
+    let hot_speedup = if hot_us > 0 && ref_iters > 0 {
+        (ref_us as f64 / ref_iters as f64) / (hot_us as f64 / cfg.hot_iters.max(1) as f64)
+    } else {
+        0.0
+    };
 
     // Phase 4: trace export.
     let trace_started = Instant::now();
@@ -315,6 +329,14 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
     let _ = writeln!(json, "    \"iters\": {},", cfg.hot_iters);
     let _ = writeln!(json, "    \"sim_secs\": {},", cfg.hot_secs);
     let _ = writeln!(json, "    \"wall_us\": {hot_us},");
+    let _ = writeln!(json, "    \"reference_iters\": {ref_iters},");
+    let _ = writeln!(json, "    \"reference_wall_us\": {ref_us},");
+    let _ = writeln!(
+        json,
+        "    \"reference_sims_per_sec\": {:.6},",
+        rate_per_sec(ref_iters as u64, ref_us)
+    );
+    let _ = writeln!(json, "    \"speedup_vs_reference\": {hot_speedup:.6},");
     let _ = writeln!(
         json,
         "    \"sims_per_sec\": {:.6}",
@@ -383,8 +405,8 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
     );
     let _ = writeln!(
         summary,
-        "hot  : {} x {} s MPEG sims -> {:.2} sims/s",
-        cfg.hot_iters, cfg.hot_secs, gate["hot_sims_per_sec"],
+        "hot  : {} x {} s MPEG sims -> {:.2} sims/s ({:.2}x vs reference kernel)",
+        cfg.hot_iters, cfg.hot_secs, gate["hot_sims_per_sec"], hot_speedup,
     );
     let _ = writeln!(
         summary,
@@ -541,6 +563,8 @@ mod tests {
             "\"gate\"",
             "\"profiler_overhead_pct\"",
             "\"stages\"",
+            "\"reference_sims_per_sec\"",
+            "\"speedup_vs_reference\"",
         ] {
             assert!(report.json.contains(section), "missing {section}");
         }

@@ -1,0 +1,156 @@
+//! Flat per-run accounting state for simulation hot loops.
+//!
+//! The kernel simulator integrates time and energy over hundreds of
+//! thousands of segments per second of batch work. This module keeps
+//! that accounting in plain flat fields — no maps, no per-segment
+//! allocation — and memoizes the pure [`PowerModel::core_power`]
+//! function so uniform spans (same mode, clock and voltage for many
+//! quanta) pay for one evaluation instead of one per segment.
+//!
+//! Nothing here changes results: [`RunTotals`] adds are the same
+//! integer/float additions the run loop would perform inline, and
+//! [`CorePowerCache`] returns the bit-identical [`Power`] that a fresh
+//! `core_power` call would (the model's parameters are constant for the
+//! duration of a run).
+
+use sim_core::{Energy, Frequency, Power, SimDuration, Voltage};
+
+use crate::cpu::CpuMode;
+use crate::power::PowerModel;
+
+/// Flat time/energy totals for one simulation run.
+///
+/// Field order mirrors the report the kernel ultimately builds; all
+/// updates are plain `+=` so delivering a whole uniform span at once
+/// (`n` quanta as `n × quantum`) is exactly equal to delivering its
+/// quanta one at a time — integer microsecond arithmetic is associative.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunTotals {
+    /// Time a task (or a mid-switch stall) held the core.
+    pub busy: SimDuration,
+    /// Time the core napped with nothing runnable.
+    pub idle: SimDuration,
+    /// Portion of `busy` spent stalled in clock/voltage switches.
+    pub stalled: SimDuration,
+    /// Portion of `busy` spent in spin-waits.
+    pub spun: SimDuration,
+    /// Total system energy.
+    pub energy: Energy,
+    /// Core-rail energy (the paper's processor-only measurements).
+    pub core_energy: Energy,
+}
+
+impl RunTotals {
+    /// Fresh zeroed totals.
+    pub fn new() -> Self {
+        RunTotals::default()
+    }
+}
+
+/// Per-mode memo for [`PowerModel::core_power`].
+///
+/// `core_power` is pure in `(mode, frequency, voltage)` for a fixed
+/// parameter set, and run loops query it with the same arguments for
+/// long stretches (the machine state only changes at policy decisions
+/// and schedule changes). One entry per [`CpuMode`] keeps the common
+/// alternation — `Run` work segments interleaved with `Nap` idle
+/// segments at an unchanged clock — fully cached. Each entry is keyed
+/// on the exact `(frequency, voltage)` pair, so a hit returns the
+/// bit-identical `Power` a recomputation would produce.
+///
+/// The model's parameters must not change between [`CorePowerCache::get`]
+/// calls — true during a simulation run, where the power model is fixed
+/// at machine construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CorePowerCache {
+    entries: [Option<(u32, u32, Power)>; 3],
+}
+
+impl CorePowerCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CorePowerCache::default()
+    }
+
+    /// The core power for `(mode, f, v)`, computed through `model` on a
+    /// miss and replayed from the memo on a hit.
+    #[inline]
+    pub fn get(&mut self, model: &PowerModel, mode: CpuMode, f: Frequency, v: Voltage) -> Power {
+        let (khz, mv) = (f.as_khz(), v.as_mv());
+        let slot = &mut self.entries[mode as usize];
+        if let Some((k, m, p)) = *slot {
+            if k == khz && m == mv {
+                return p;
+            }
+        }
+        let p = model.core_power(mode, f, v);
+        *slot = Some((khz, mv, p));
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{ClockTable, V_HIGH, V_LOW};
+
+    #[test]
+    fn totals_accumulate_flat() {
+        let mut t = RunTotals::new();
+        t.busy += SimDuration::from_millis(10);
+        t.busy += SimDuration::from_millis(10);
+        t.spun += SimDuration::from_millis(10);
+        t.idle += SimDuration::from_millis(5);
+        assert_eq!(t.busy.as_micros(), 20_000);
+        assert_eq!(t.spun.as_micros(), 10_000);
+        assert_eq!(t.idle.as_micros(), 5_000);
+        assert_eq!(t.stalled, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn span_delivery_equals_per_quantum_delivery() {
+        // n adds of q vs one add of n*q: exact for integer microseconds.
+        let q = SimDuration::from_millis(10);
+        let mut tick_by_tick = RunTotals::new();
+        for _ in 0..1_000 {
+            tick_by_tick.busy += q;
+        }
+        let mut spanned = RunTotals::new();
+        spanned.busy += SimDuration::from_micros(1_000 * q.as_micros());
+        assert_eq!(tick_by_tick.busy, spanned.busy);
+    }
+
+    #[test]
+    fn power_cache_is_bit_identical_to_model() {
+        let model = PowerModel::default();
+        let table = ClockTable::sa1100();
+        let mut cache = CorePowerCache::new();
+        for &mode in &[CpuMode::Run, CpuMode::Nap, CpuMode::Stalled] {
+            for step in 0..table.len() {
+                for &v in &[V_HIGH, V_LOW] {
+                    let f = table.freq(step);
+                    let direct = model.core_power(mode, f, v);
+                    // Miss then hit: both must equal the direct call.
+                    assert_eq!(cache.get(&model, mode, f, v).as_watts(), direct.as_watts());
+                    assert_eq!(cache.get(&model, mode, f, v).as_watts(), direct.as_watts());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_distinguishes_modes_at_equal_frequency() {
+        let model = PowerModel::default();
+        let table = ClockTable::sa1100();
+        let mut cache = CorePowerCache::new();
+        let f = table.freq(10);
+        let run = cache.get(&model, CpuMode::Run, f, V_HIGH);
+        let nap = cache.get(&model, CpuMode::Nap, f, V_HIGH);
+        assert!(nap.as_watts() < run.as_watts());
+        // Back to Run: recomputed, not served from the stale Nap entry.
+        assert_eq!(
+            cache.get(&model, CpuMode::Run, f, V_HIGH).as_watts(),
+            run.as_watts()
+        );
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod battery;
 pub mod clock;
+pub mod counters;
 pub mod cpu;
 pub mod gpio;
 pub mod memory;
@@ -32,6 +33,7 @@ pub mod work;
 
 pub use battery::Battery;
 pub use clock::{ClockTable, StepIndex, V_HIGH, V_LOW};
+pub use counters::{CorePowerCache, RunTotals};
 pub use cpu::{CpuCore, CpuMode};
 pub use gpio::Gpio;
 pub use memory::MemoryTiming;

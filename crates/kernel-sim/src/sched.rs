@@ -9,10 +9,10 @@
 
 use std::collections::VecDeque;
 
-use sim_core::{Energy, SimDuration, SimTime, TimeSeries};
+use sim_core::{Power, SimDuration, SimTime, TimeSeries};
 
 use itsy_hw::clock::V_HIGH;
-use itsy_hw::{CpuMode, StepIndex, Work};
+use itsy_hw::{CorePowerCache, CpuMode, RunTotals, StepIndex, Work};
 use policies::ClockPolicy;
 
 use crate::log::{DeadlineLog, SchedLog};
@@ -55,6 +55,13 @@ pub struct KernelConfig {
     /// limit); `None` keeps everything. Ignored when `log_sched` is
     /// off — a disabled log drops nothing.
     pub sched_log_capacity: Option<usize>,
+    /// Run the original tick-by-tick loop instead of the batched
+    /// uniform-span fast path. The two are bit-identical (the
+    /// differential suite proves it); the reference loop exists as the
+    /// oracle for that proof and for debugging. Tracing implies the
+    /// reference path regardless of this flag: per-tick events make
+    /// every tick observable, so there is nothing to batch.
+    pub reference: bool,
 }
 
 impl Default for KernelConfig {
@@ -69,6 +76,7 @@ impl Default for KernelConfig {
             default_counter: 20,
             trace: false,
             sched_log_capacity: None,
+            reference: false,
         }
     }
 }
@@ -93,6 +101,85 @@ struct TaskState {
     status: Status,
     cpu_time: SimDuration,
     counter: u32,
+}
+
+/// Reusable allocation pool for repeated kernel runs.
+///
+/// A run's report carries four [`TimeSeries`] whose backing vectors are
+/// the bulk of a short run's heap traffic. Batch drivers that execute
+/// thousands of simulations hand the same scratch to every run
+/// ([`Kernel::run_scratch`]) and return each finished report's buffers
+/// with [`SimScratch::recycle`], so steady-state simulation performs no
+/// series allocation at all. Buffer reuse cannot change results: a
+/// recycled vector is cleared before use and only its capacity
+/// survives.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    series_buffers: Vec<Vec<(u64, f64)>>,
+}
+
+impl SimScratch {
+    /// An empty pool.
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+
+    fn take_buffer(&mut self) -> Vec<(u64, f64)> {
+        self.series_buffers.pop().unwrap_or_default()
+    }
+
+    /// Returns a finished report's series allocations to the pool.
+    pub fn recycle(&mut self, report: KernelReport) {
+        for series in [
+            report.utilization,
+            report.freq_mhz,
+            report.work_fraction,
+            report.power_w,
+        ] {
+            self.series_buffers.push(series.into_buffer());
+        }
+    }
+}
+
+/// The run loop's mutable state, shared by the batched fast path and
+/// the reference tick-by-tick path so both execute the exact same
+/// accounting code where they overlap.
+struct LoopState {
+    now: SimTime,
+    next_tick: SimTime,
+    stall_until: SimTime,
+    end: SimTime,
+    quantum: SimDuration,
+    utilization: TimeSeries,
+    freq_mhz: TimeSeries,
+    work_fraction: TimeSeries,
+    power_w: TimeSeries,
+    totals: RunTotals,
+    /// Peripheral draw, constant for the whole run: the device set is
+    /// fixed at machine construction and never changes mid-simulation.
+    peripheral: Power,
+    power_cache: CorePowerCache,
+    busy_in_quantum: SimDuration,
+    work_in_quantum: Work,
+    last_power: Option<f64>,
+    fastest: StepIndex,
+    full_speed_khz: u32,
+    action_fuel_at: (SimTime, u32),
+    /// Set when an attached battery emptied and the run must stop.
+    stopped: bool,
+}
+
+/// A provably-uniform stretch of whole quanta the batched kernel can
+/// execute in a flat loop: machine state, the running task and the
+/// per-tick utilization are all constant until the span's bounding
+/// event.
+enum SpanKind {
+    /// No runnable task; the core naps.
+    Idle,
+    /// A single runnable task computing through its work quantum.
+    Work(Pid, Work),
+    /// A single runnable task spinning until the contained time.
+    Spin(Pid, SimTime),
 }
 
 /// The simulated kernel. Construct, [`Kernel::spawn`] workloads,
@@ -230,90 +317,124 @@ impl Kernel {
     }
 
     /// Runs the simulation to completion and returns the report.
-    pub fn run(mut self) -> KernelReport {
+    pub fn run(self) -> KernelReport {
+        self.run_scratch(&mut SimScratch::new())
+    }
+
+    /// Like [`Kernel::run`], but draws series buffers from (and is
+    /// expected to eventually [`SimScratch::recycle`] back into) a
+    /// caller-held allocation pool. Batch drivers use this to amortize
+    /// per-run allocation across thousands of jobs.
+    pub fn run_scratch(mut self, scratch: &mut SimScratch) -> KernelReport {
         let quantum = self.config.quantum;
         assert!(!quantum.is_zero(), "quantum must be positive");
-        let end = SimTime::ZERO + self.config.duration;
-        let mut now = SimTime::ZERO;
-        let mut next_tick = SimTime::ZERO + quantum;
-        let mut stall_until = SimTime::ZERO;
-
-        let mut utilization = TimeSeries::new("utilization");
-        let mut freq_mhz = TimeSeries::new("freq_mhz");
-        let mut work_fraction = TimeSeries::new("work_fraction");
-        let mut power_w = TimeSeries::new("watts");
-
-        let mut busy_total = SimDuration::ZERO;
-        let mut idle_total = SimDuration::ZERO;
-        let mut stalled_total = SimDuration::ZERO;
-        let mut spun_total = SimDuration::ZERO;
-        let mut energy = Energy::ZERO;
-        let mut core_energy = Energy::ZERO;
-        let mut busy_in_quantum = SimDuration::ZERO;
-        let mut work_in_quantum = Work::ZERO;
-        let mut last_power: Option<f64> = None;
-
         let fastest = self.machine.cpu.table().fastest();
-        let full_speed_khz = self.machine.cpu.table().freq(fastest).as_khz();
+        let mut ls = LoopState {
+            now: SimTime::ZERO,
+            next_tick: SimTime::ZERO + quantum,
+            stall_until: SimTime::ZERO,
+            end: SimTime::ZERO + self.config.duration,
+            quantum,
+            utilization: TimeSeries::with_buffer("utilization", scratch.take_buffer()),
+            freq_mhz: TimeSeries::with_buffer("freq_mhz", scratch.take_buffer()),
+            work_fraction: TimeSeries::with_buffer("work_fraction", scratch.take_buffer()),
+            power_w: TimeSeries::with_buffer("watts", scratch.take_buffer()),
+            totals: RunTotals::new(),
+            peripheral: self.machine.power.peripheral_power(self.machine.devices),
+            power_cache: CorePowerCache::new(),
+            busy_in_quantum: SimDuration::ZERO,
+            work_in_quantum: Work::ZERO,
+            last_power: None,
+            fastest,
+            full_speed_khz: self.machine.cpu.table().freq(fastest).as_khz(),
+            action_fuel_at: (SimTime::ZERO, 0u32),
+            stopped: false,
+        };
 
         // Record the initial frequency sample so Figure 8-style plots
         // start at t = 0.
-        freq_mhz.push(now, self.machine.cpu.freq().as_mhz_f64());
-        self.pick_current(now);
+        ls.freq_mhz
+            .push(ls.now, self.machine.cpu.freq().as_mhz_f64());
+        self.pick_current(ls.now);
 
-        let mut action_fuel_at = (now, 0u32);
-        'outer: while now < end {
-            let boundary = next_tick.min(end);
-
-            // Resolve pending behavior decisions (no time passes). A
-            // stalled core executes nothing, so the whole block is
-            // skipped mid-stall; otherwise the loop ends when the
-            // current task has real work queued or the runqueue drains.
-            while stall_until <= now && self.needs_action() {
-                let Some(pid) = self.current else { break };
-                if action_fuel_at.0 == now {
-                    action_fuel_at.1 += 1;
-                    assert!(
-                        action_fuel_at.1 < 10_000,
-                        "task {pid} livelocked at {now} (10k actions without time passing)"
-                    );
-                } else {
-                    action_fuel_at = (now, 0);
+        // Tracing forces the reference path: per-tick policy and
+        // quantum events make every tick observable, so no span is
+        // uniform.
+        let batched = !self.config.reference && !self.config.trace;
+        while ls.now < ls.end {
+            self.resolve_actions(&mut ls);
+            if batched && self.run_uniform_span(&mut ls) {
+                if ls.stopped {
+                    break;
                 }
-                let freq = self.machine.cpu.freq();
-                let state = &mut self.tasks[(pid - 1) as usize];
-                let mut ctx = TaskCtx::new(now, freq, &mut self.deadlines);
-                let action = state.behavior.next_action(&mut ctx);
-                match action {
-                    TaskAction::Compute(w) if w.is_zero() => {} // ask again
-                    TaskAction::Compute(w) => state.run = RunState::Work(w),
-                    TaskAction::SpinUntil(t) if t <= now => {} // already passed
-                    TaskAction::SpinUntil(t) => state.run = RunState::Spin(t),
-                    TaskAction::SleepUntil(t) => {
-                        state.status = Status::Sleeping(t);
-                        state.run = RunState::NeedsAction;
-                        self.pick_current(now);
-                    }
-                    TaskAction::Exit => {
-                        state.status = Status::Exited;
-                        state.run = RunState::NeedsAction;
-                        self.pick_current(now);
-                    }
+                continue;
+            }
+            if self.step_segment(&mut ls) {
+                break; // battery empty
+            }
+        }
+        self.finish(ls)
+    }
+
+    /// Resolves pending behavior decisions (no time passes). A stalled
+    /// core executes nothing, so the whole block is skipped mid-stall;
+    /// otherwise the loop ends when the current task has real work
+    /// queued or the runqueue drains.
+    fn resolve_actions(&mut self, ls: &mut LoopState) {
+        let now = ls.now;
+        while ls.stall_until <= now && self.needs_action() {
+            let Some(pid) = self.current else { break };
+            if ls.action_fuel_at.0 == now {
+                ls.action_fuel_at.1 += 1;
+                assert!(
+                    ls.action_fuel_at.1 < 10_000,
+                    "task {pid} livelocked at {now} (10k actions without time passing)"
+                );
+            } else {
+                ls.action_fuel_at = (now, 0);
+            }
+            let freq = self.machine.cpu.freq();
+            let state = &mut self.tasks[(pid - 1) as usize];
+            let mut ctx = TaskCtx::new(now, freq, &mut self.deadlines);
+            let action = state.behavior.next_action(&mut ctx);
+            match action {
+                TaskAction::Compute(w) if w.is_zero() => {} // ask again
+                TaskAction::Compute(w) => state.run = RunState::Work(w),
+                TaskAction::SpinUntil(t) if t <= now => {} // already passed
+                TaskAction::SpinUntil(t) => state.run = RunState::Spin(t),
+                TaskAction::SleepUntil(t) => {
+                    state.status = Status::Sleeping(t);
+                    state.run = RunState::NeedsAction;
+                    self.pick_current(now);
+                }
+                TaskAction::Exit => {
+                    state.status = Status::Exited;
+                    state.run = RunState::NeedsAction;
+                    self.pick_current(now);
                 }
             }
+        }
+    }
 
-            // Determine the segment: its end, mode, and work consumed.
-            let step = self.machine.cpu.step();
-            let freq = self.machine.cpu.freq();
-            let (seg_end, mode, work_done, completes, is_spin): (
-                SimTime,
-                CpuMode,
-                Work,
-                bool,
-                bool,
-            ) = if stall_until > now {
+    /// One iteration of the reference loop: a single segment plus, when
+    /// the segment ends on a tick, the timer-tick work. Returns `true`
+    /// when an attached battery emptied and the run must stop.
+    ///
+    /// This is the oracle the batched path is proven against — every
+    /// non-uniform moment of a batched run also flows through here, so
+    /// the two paths cannot drift in shared territory.
+    fn step_segment(&mut self, ls: &mut LoopState) -> bool {
+        let now = ls.now;
+        let quantum = ls.quantum;
+        let boundary = ls.next_tick.min(ls.end);
+
+        // Determine the segment: its end, mode, and work consumed.
+        let step = self.machine.cpu.step();
+        let freq = self.machine.cpu.freq();
+        let (seg_end, mode, work_done, completes, is_spin): (SimTime, CpuMode, Work, bool, bool) =
+            if ls.stall_until > now {
                 (
-                    stall_until.min(boundary),
+                    ls.stall_until.min(boundary),
                     CpuMode::Stalled,
                     Work::ZERO,
                     false,
@@ -349,122 +470,323 @@ impl Kernel {
                 (boundary, CpuMode::Nap, Work::ZERO, false, false)
             };
 
-            // Integrate power over the segment.
-            let span = seg_end.duration_since(now);
-            if !span.is_zero() {
-                let core_p = self
-                    .machine
-                    .power
-                    .core_power(mode, freq, self.machine.cpu.voltage());
-                let p = core_p + self.machine.power.peripheral_power(self.machine.devices);
-                if self.config.record_power && last_power != Some(p.as_watts()) {
-                    power_w.push(now, p.as_watts());
-                    last_power = Some(p.as_watts());
-                }
-                energy += p.over(span);
-                core_energy += core_p.over(span);
-                if let Some(batt) = self.machine.battery.as_mut() {
-                    batt.drain(p, span);
-                    if self.config.stop_when_battery_empty && batt.is_empty() {
-                        now = seg_end;
-                        break 'outer;
-                    }
-                }
-                match mode {
-                    CpuMode::Run => {
-                        busy_total += span;
-                        busy_in_quantum += span;
-                        if is_spin {
-                            spun_total += span;
-                        }
-                        if let Some(pid) = self.current {
-                            self.task(pid).cpu_time += span;
-                        }
-                    }
-                    CpuMode::Stalled => {
-                        busy_total += span;
-                        busy_in_quantum += span;
-                        stalled_total += span;
-                    }
-                    CpuMode::Nap => idle_total += span,
-                }
-                work_in_quantum = work_in_quantum.plus(work_done);
+        // Integrate power over the segment.
+        let span = seg_end.duration_since(now);
+        if !span.is_zero() {
+            let core_p =
+                ls.power_cache
+                    .get(&self.machine.power, mode, freq, self.machine.cpu.voltage());
+            let p = core_p + ls.peripheral;
+            if self.config.record_power && ls.last_power != Some(p.as_watts()) {
+                ls.power_w.push(now, p.as_watts());
+                ls.last_power = Some(p.as_watts());
             }
-            now = seg_end;
-
-            // Mark completions.
-            if completes {
-                if let Some(pid) = self.current {
-                    self.task(pid).run = RunState::NeedsAction;
+            ls.totals.energy += p.over(span);
+            ls.totals.core_energy += core_p.over(span);
+            if let Some(batt) = self.machine.battery.as_mut() {
+                batt.drain(p, span);
+                if self.config.stop_when_battery_empty && batt.is_empty() {
+                    ls.now = seg_end;
+                    return true;
                 }
             }
+            match mode {
+                CpuMode::Run => {
+                    ls.totals.busy += span;
+                    ls.busy_in_quantum += span;
+                    if is_spin {
+                        ls.totals.spun += span;
+                    }
+                    if let Some(pid) = self.current {
+                        self.task(pid).cpu_time += span;
+                    }
+                }
+                CpuMode::Stalled => {
+                    ls.totals.busy += span;
+                    ls.busy_in_quantum += span;
+                    ls.totals.stalled += span;
+                }
+                CpuMode::Nap => ls.totals.idle += span,
+            }
+            ls.work_in_quantum = ls.work_in_quantum.plus(work_done);
+        }
+        ls.now = seg_end;
+        let now = seg_end;
 
-            // Timer tick.
-            if now == next_tick && now <= end {
-                // Utilization of the quantum that just ended.
-                let util = (busy_in_quantum.as_micros() as f64 / quantum.as_micros() as f64)
-                    .clamp(0.0, 1.0);
-                utilization.push(now, util);
-                self.trace.emit(
-                    now.as_micros(),
-                    obs::EventKind::QuantumBoundary { utilization: util },
-                );
-                let wf = work_in_quantum.total_cycles(fastest, &self.machine.mem)
-                    / (full_speed_khz as f64 * quantum.as_micros() as f64 / 1_000.0);
-                work_fraction.push(now, wf.clamp(0.0, 1.0));
-                busy_in_quantum = SimDuration::ZERO;
-                work_in_quantum = Work::ZERO;
+        // Mark completions.
+        if completes {
+            if let Some(pid) = self.current {
+                self.task(pid).run = RunState::NeedsAction;
+            }
+        }
 
-                // Wake sleepers (jiffy granularity).
-                for (i, t) in self.tasks.iter_mut().enumerate() {
-                    if let Status::Sleeping(until) = t.status {
-                        if until <= now {
-                            t.status = Status::Ready;
-                            self.runqueue.push_back((i + 1) as Pid);
+        // Timer tick.
+        if now == ls.next_tick && now <= ls.end {
+            // Utilization of the quantum that just ended.
+            let util = (ls.busy_in_quantum.as_micros() as f64 / quantum.as_micros() as f64)
+                .clamp(0.0, 1.0);
+            ls.utilization.push(now, util);
+            self.trace.emit(
+                now.as_micros(),
+                obs::EventKind::QuantumBoundary { utilization: util },
+            );
+            let wf = ls
+                .work_in_quantum
+                .total_cycles(ls.fastest, &self.machine.mem)
+                / (ls.full_speed_khz as f64 * quantum.as_micros() as f64 / 1_000.0);
+            ls.work_fraction.push(now, wf.clamp(0.0, 1.0));
+            ls.busy_in_quantum = SimDuration::ZERO;
+            ls.work_in_quantum = Work::ZERO;
+
+            // Wake sleepers (jiffy granularity).
+            for (i, t) in self.tasks.iter_mut().enumerate() {
+                if let Status::Sleeping(until) = t.status {
+                    if until <= now {
+                        t.status = Status::Ready;
+                        self.runqueue.push_back((i + 1) as Pid);
+                    }
+                }
+            }
+
+            // The clock-scaling policy module runs from the timer
+            // interrupt.
+            if let Some(policy) = self.policy.as_mut() {
+                let cur = self.machine.cpu.step();
+                let req = policy.on_interval_traced(now, util, cur, &mut self.trace);
+                let target_step = req.step.unwrap_or(cur);
+                let target_v = req.voltage.unwrap_or(self.machine.cpu.voltage());
+                let now_us = now.as_micros();
+                let Machine { cpu, power, .. } = &mut self.machine;
+                let params = &power.params;
+                let transition = cpu
+                    .request_traced(target_step, target_v, params, now_us, &mut self.trace)
+                    .unwrap_or_else(|_| {
+                        // Electrically unsafe request: the kernel
+                        // clamps the voltage up and retries.
+                        cpu.request_traced(target_step, V_HIGH, params, now_us, &mut self.trace)
+                            .expect("high voltage is safe at every step")
+                    });
+                if !transition.stall.is_zero() {
+                    ls.stall_until = now + transition.stall;
+                }
+            }
+            ls.freq_mhz.push(now, self.machine.cpu.freq().as_mhz_f64());
+
+            // Scheduler entry. With the paper's modification the
+            // counter is forced to 1, so every tick preempts; stock
+            // Linux 2.0 lets the counter run down first.
+            let force = self.config.force_schedule_every_tick;
+            let default_counter = self.config.default_counter.max(1);
+            if let Some(pid) = self.current {
+                let t = self.task(pid);
+                let expired = if force {
+                    true
+                } else {
+                    t.counter = t.counter.saturating_sub(1);
+                    t.counter == 0
+                };
+                if expired {
+                    t.counter = default_counter;
+                    self.current = None;
+                    if self.task(pid).status == Status::Ready {
+                        self.runqueue.push_back(pid);
+                    }
+                }
+            }
+            self.pick_current(now);
+
+            ls.next_tick += quantum;
+        }
+        false
+    }
+
+    /// The batched fast path: detects a uniform span starting at the
+    /// current (tick-aligned) time and executes it in a flat loop that
+    /// performs exactly the floating-point operations the reference
+    /// path would — in the same order, on the same values — while
+    /// delivering every integer-valued side effect in closed form.
+    ///
+    /// Returns `true` if it consumed at least one whole quantum (the
+    /// caller re-enters the loop), `false` to fall back to
+    /// [`Kernel::step_segment`].
+    ///
+    /// A span is uniform while all of these hold:
+    /// - the core is not stalled and `now` sits exactly on a tick;
+    /// - the runqueue is empty, so scheduling is trivial (either pure
+    ///   idle or a single runnable task that round-robins onto itself);
+    /// - the current task, if any, is mid-[`Work`] or mid-spin — its
+    ///   behavior is not consulted, so no action can change anything;
+    /// - no sleeper wakes, the spin does not expire, the work does not
+    ///   complete, and the run does not end before the span's last
+    ///   tick (each limit is computed exactly below);
+    /// - the policy keeps requesting machine no-ops (checked per tick;
+    ///   a request that changes the machine ends the span *after* its
+    ///   tick completes, exactly like the reference path).
+    fn run_uniform_span(&mut self, ls: &mut LoopState) -> bool {
+        if ls.stall_until > ls.now || ls.now + ls.quantum != ls.next_tick {
+            return false;
+        }
+        if !self.runqueue.is_empty() {
+            return false;
+        }
+        let kind = match self.current {
+            None => SpanKind::Idle,
+            Some(pid) => match self.tasks[(pid - 1) as usize].run {
+                RunState::Work(w) => SpanKind::Work(pid, w),
+                RunState::Spin(t) if t > ls.now => SpanKind::Spin(pid, t),
+                _ => return false,
+            },
+        };
+        debug_assert!(ls.busy_in_quantum.is_zero() && ls.work_in_quantum.is_zero());
+
+        let start_us = ls.now.as_micros();
+        let q_us = ls.quantum.as_micros();
+        // Whole quanta until the run ends (a trailing partial quantum
+        // is never batched).
+        let mut max = ls.end.duration_since(ls.now).as_micros() / q_us;
+        // A sleeper waking at tick `j` changes the runqueue during that
+        // tick's processing, so the span may cover at most `j - 1`
+        // quanta; the wake tick itself runs on the reference path.
+        for t in &self.tasks {
+            if let Status::Sleeping(until) = t.status {
+                let wake_tick = if until.as_micros() <= start_us {
+                    1
+                } else {
+                    let d = until.as_micros() - start_us;
+                    d.div_ceil(q_us)
+                };
+                max = max.min(wake_tick - 1);
+            }
+        }
+        // A spin expiring within quantum `k` (including exactly on its
+        // tick, which marks a completion) ends uniformity at `k - 1`.
+        if let SpanKind::Spin(_, until) = kind {
+            let d = until.as_micros() - start_us;
+            max = max.min((d - 1) / q_us);
+        }
+        if max == 0 {
+            return false;
+        }
+
+        // Constant machine state across the span.
+        let step = self.machine.cpu.step();
+        let freq = self.machine.cpu.freq();
+        let khz = freq.as_khz();
+        let mhz = freq.as_mhz_f64();
+        let voltage = self.machine.cpu.voltage();
+        let (mode, util) = match kind {
+            SpanKind::Idle => (CpuMode::Nap, 0.0),
+            SpanKind::Work(..) | SpanKind::Spin(..) => (CpuMode::Run, 1.0),
+        };
+        let core_p = ls.power_cache.get(&self.machine.power, mode, freq, voltage);
+        let p = core_p + ls.peripheral;
+        let p_w = p.as_watts();
+        // Same multiply the reference performs per segment; computing
+        // it once and adding it `n` times gives the same bits as
+        // computing it `n` times.
+        let e_q = p.over(ls.quantum);
+        let ce_q = core_p.over(ls.quantum);
+        let wf_denom = ls.full_speed_khz as f64 * q_us as f64 / 1_000.0;
+        let force = self.config.force_schedule_every_tick;
+        let default_counter = self.config.default_counter.max(1);
+        let has_battery = self.machine.battery.is_some();
+        // A memoryless policy that answered one uniform tick with a
+        // machine no-op answers every identical tick the same way and
+        // ends the span in the same state, so the remaining calls are
+        // elided.
+        let elide_policy = self
+            .policy
+            .as_ref()
+            .is_none_or(|policy| policy.is_memoryless());
+        let mut policy_settled = false;
+
+        // Power-trace sample at the span head, exactly where the
+        // reference samples its first segment.
+        if self.config.record_power && ls.last_power != Some(p_w) {
+            ls.power_w.push(ls.now, p_w);
+            ls.last_power = Some(p_w);
+        }
+
+        let mut w_left = match kind {
+            SpanKind::Work(_, w) => w,
+            _ => Work::ZERO,
+        };
+        let mut executed: u64 = 0; // quanta fully accounted
+        let mut span_over = false; // policy changed the machine
+        while executed < max && !span_over {
+            let t_k = SimTime::from_micros(start_us + (executed + 1) * q_us);
+
+            // -- the quantum's single segment --
+            let mut wf = 0.0;
+            if let SpanKind::Work(..) = kind {
+                match w_left.execute_for(ls.quantum, step, freq, &self.machine.mem) {
+                    itsy_hw::WorkProgress::Completed(_) => break, // reference path finishes it
+                    itsy_hw::WorkProgress::Remaining(rest) => {
+                        let done = w_left.plus(rest.scaled(-1.0));
+                        w_left = rest;
+                        wf = (done.total_cycles(ls.fastest, &self.machine.mem) / wf_denom)
+                            .clamp(0.0, 1.0);
+                    }
+                }
+            }
+            ls.totals.energy += e_q;
+            ls.totals.core_energy += ce_q;
+            if has_battery {
+                let batt = self.machine.battery.as_mut().expect("checked above");
+                batt.drain(p, ls.quantum);
+                if self.config.stop_when_battery_empty && batt.is_empty() {
+                    // The reference breaks out before the mode
+                    // accounting and the tick, so this quantum adds
+                    // energy but no busy/idle time.
+                    ls.now = t_k;
+                    ls.stopped = true;
+                    break;
+                }
+            }
+            executed += 1;
+
+            // -- the tick at t_k --
+            ls.utilization.push(t_k, util);
+            ls.work_fraction.push(t_k, wf);
+            // No sleeper can wake before the span's bound.
+            if let Some(policy) = self.policy.as_mut() {
+                if !(policy_settled && elide_policy) {
+                    let req = policy.on_interval(t_k, util, step);
+                    let noop = req.step.is_none_or(|s| s == step)
+                        && req.voltage.is_none_or(|v| v == voltage);
+                    if noop {
+                        // Applying a no-op request is free and mutates
+                        // nothing (no transition, no switch counters).
+                        policy_settled = true;
+                    } else {
+                        let target_step = req.step.unwrap_or(step);
+                        let target_v = req.voltage.unwrap_or(voltage);
+                        let Machine { cpu, power, .. } = &mut self.machine;
+                        let params = &power.params;
+                        let transition =
+                            cpu.request(target_step, target_v, params)
+                                .unwrap_or_else(|_| {
+                                    cpu.request(target_step, V_HIGH, params)
+                                        .expect("high voltage is safe at every step")
+                                });
+                        if !transition.stall.is_zero() {
+                            ls.stall_until = t_k + transition.stall;
                         }
+                        span_over = true;
                     }
                 }
-
-                // The clock-scaling policy module runs from the timer
-                // interrupt.
-                if let Some(policy) = self.policy.as_mut() {
-                    let cur = self.machine.cpu.step();
-                    let req = policy.on_interval_traced(now, util, cur, &mut self.trace);
-                    let target_step = req.step.unwrap_or(cur);
-                    let target_v = req.voltage.unwrap_or(self.machine.cpu.voltage());
-                    let params = self.machine.power.params.clone();
-                    let now_us = now.as_micros();
-                    let transition = self
-                        .machine
-                        .cpu
-                        .request_traced(target_step, target_v, &params, now_us, &mut self.trace)
-                        .unwrap_or_else(|_| {
-                            // Electrically unsafe request: the kernel
-                            // clamps the voltage up and retries.
-                            self.machine
-                                .cpu
-                                .request_traced(
-                                    target_step,
-                                    V_HIGH,
-                                    &params,
-                                    now_us,
-                                    &mut self.trace,
-                                )
-                                .expect("high voltage is safe at every step")
-                        });
-                    if !transition.stall.is_zero() {
-                        stall_until = now + transition.stall;
-                    }
-                }
-                freq_mhz.push(now, self.machine.cpu.freq().as_mhz_f64());
-
-                // Scheduler entry. With the paper's modification the
-                // counter is forced to 1, so every tick preempts; stock
-                // Linux 2.0 lets the counter run down first.
-                let force = self.config.force_schedule_every_tick;
-                let default_counter = self.config.default_counter.max(1);
-                if let Some(pid) = self.current {
-                    let t = self.task(pid);
+            }
+            let (cur_khz, cur_mhz) = if span_over {
+                let f = self.machine.cpu.freq();
+                (f.as_khz(), f.as_mhz_f64())
+            } else {
+                (khz, mhz)
+            };
+            ls.freq_mhz.push(t_k, cur_mhz);
+            match kind {
+                SpanKind::Idle => self.sched_log.record(t_k, IDLE_PID, cur_khz),
+                SpanKind::Work(pid, _) | SpanKind::Spin(pid, _) => {
+                    let t = &mut self.tasks[(pid - 1) as usize];
                     let expired = if force {
                         true
                     } else {
@@ -472,23 +794,51 @@ impl Kernel {
                         t.counter == 0
                     };
                     if expired {
+                        // The reference pops the task off the runqueue
+                        // and immediately re-picks it: current and the
+                        // (empty) runqueue end up unchanged, leaving
+                        // only the log record and the counter reset.
                         t.counter = default_counter;
-                        self.current = None;
-                        if self.task(pid).status == Status::Ready {
-                            self.runqueue.push_back(pid);
-                        }
+                        self.sched_log.record(t_k, pid, cur_khz);
                     }
                 }
-                self.pick_current(now);
-
-                next_tick += quantum;
             }
         }
 
-        // Close the power step function.
+        if executed == 0 && !ls.stopped {
+            return false;
+        }
+
+        // Closed-form delivery of the integer accounting the flat loop
+        // skipped: n identical integer adds of `quantum` are exactly
+        // `n * quantum`.
+        let span_total = SimDuration::from_micros(executed * q_us);
+        if !ls.stopped {
+            ls.now = SimTime::from_micros(start_us + executed * q_us);
+        }
+        ls.next_tick = ls.now + ls.quantum;
+        match kind {
+            SpanKind::Idle => ls.totals.idle += span_total,
+            SpanKind::Work(pid, _) => {
+                ls.totals.busy += span_total;
+                let t = &mut self.tasks[(pid - 1) as usize];
+                t.cpu_time += span_total;
+                t.run = RunState::Work(w_left);
+            }
+            SpanKind::Spin(pid, _) => {
+                ls.totals.busy += span_total;
+                ls.totals.spun += span_total;
+                self.tasks[(pid - 1) as usize].cpu_time += span_total;
+            }
+        }
+        true
+    }
+
+    /// Closes the power trace and assembles the report.
+    fn finish(self, mut ls: LoopState) -> KernelReport {
         if self.config.record_power {
-            if let Some(p) = last_power {
-                power_w.push(now, p);
+            if let Some(p) = ls.last_power {
+                ls.power_w.push(ls.now, p);
             }
         }
 
@@ -500,16 +850,16 @@ impl Kernel {
             .collect();
 
         KernelReport {
-            utilization,
-            freq_mhz,
-            work_fraction,
-            power_w,
-            busy: busy_total,
-            idle: idle_total,
-            stalled: stalled_total,
-            spun: spun_total,
-            energy,
-            core_energy,
+            utilization: ls.utilization,
+            freq_mhz: ls.freq_mhz,
+            work_fraction: ls.work_fraction,
+            power_w: ls.power_w,
+            busy: ls.totals.busy,
+            idle: ls.totals.idle,
+            stalled: ls.totals.stalled,
+            spun: ls.totals.spun,
+            energy: ls.totals.energy,
+            core_energy: ls.totals.core_energy,
             sched_log: self.sched_log,
             deadlines: self.deadlines,
             trace: self.trace,
@@ -522,7 +872,7 @@ impl Kernel {
                 .battery
                 .as_ref()
                 .map(|b| b.remaining_fraction()),
-            elapsed: now.duration_since(SimTime::ZERO),
+            elapsed: ls.now.duration_since(SimTime::ZERO),
         }
     }
 }

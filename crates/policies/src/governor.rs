@@ -113,6 +113,17 @@ pub trait ClockPolicy {
         req
     }
 
+    /// True when the decision is a pure function of `(utilization,
+    /// current_step)` and observing the same utilization repeatedly is
+    /// idempotent — i.e. calling [`ClockPolicy::on_interval`] N times
+    /// with identical arguments is indistinguishable from calling it
+    /// once. The batched kernel uses this to elide repeated identical
+    /// calls across a uniform span; any policy with interval-counting
+    /// or history state must leave this `false` (the safe default).
+    fn is_memoryless(&self) -> bool {
+        false
+    }
+
     /// Name used in reports.
     fn name(&self) -> String;
 }
@@ -260,6 +271,13 @@ impl ClockPolicy for IntervalScheduler {
         req
     }
 
+    fn is_memoryless(&self) -> bool {
+        // The scheduler itself holds no per-interval state beyond the
+        // predictor, and `now` is unused, so memorylessness is exactly
+        // the predictor's.
+        self.predictor.is_memoryless()
+    }
+
     fn name(&self) -> String {
         let v = if self.voltage_rule.is_some() {
             ", Vscale"
@@ -300,6 +318,10 @@ impl ClockPolicy for ConstantPolicy {
             step: (current != self.step).then_some(self.step),
             voltage: Some(self.voltage),
         }
+    }
+
+    fn is_memoryless(&self) -> bool {
+        true
     }
 
     fn name(&self) -> String {

@@ -53,6 +53,10 @@ impl Predictor for Flat {
 
     fn reset(&mut self) {}
 
+    fn is_memoryless(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> String {
         format!("FLAT_{:.0}", self.level * 100.0)
     }

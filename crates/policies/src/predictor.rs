@@ -25,6 +25,17 @@ pub trait Predictor {
     /// Resets internal history to the just-booted state.
     fn reset(&mut self);
 
+    /// True when [`Predictor::observe`] is idempotent: feeding the same
+    /// utilization twice leaves the predictor in the same state and
+    /// returns the same prediction as feeding it once. PAST is the
+    /// canonical example (`W_t = U_{t-1}` — no history survives one
+    /// observation). The batched kernel uses this to elide repeated
+    /// identical policy calls inside a uniform span; predictors that
+    /// accumulate history (AVG_N, windows) must leave this `false`.
+    fn is_memoryless(&self) -> bool {
+        false
+    }
+
     /// Human-readable name for reports (e.g. `AVG_9`).
     fn name(&self) -> String;
 }
@@ -56,6 +67,10 @@ impl Predictor for Past {
 
     fn reset(&mut self) {
         self.last = 0.0;
+    }
+
+    fn is_memoryless(&self) -> bool {
+        true
     }
 
     fn name(&self) -> String {

@@ -109,7 +109,14 @@ enum PlayerPhase {
 /// the same computation sequence, as on the real Itsy.
 pub struct MpegPlayer {
     config: MpegConfig,
+    /// Per-frame demand multipliers, materialized lazily. Draws happen
+    /// in clip order exactly as an eager pass would make them (the
+    /// player's frame index only advances forward, so the prefix grows
+    /// in order), which keeps short runs — which never see most of the
+    /// clip — from paying for 210 Gaussian draws up front while
+    /// producing bit-identical demands for the frames they do reach.
     clip: Vec<f64>,
+    clip_rng: Rng,
     frame: u64,
     phase: PlayerPhase,
 }
@@ -117,21 +124,10 @@ pub struct MpegPlayer {
 impl MpegPlayer {
     /// Creates the player; `seed` determines the clip's frame demands.
     pub fn new(config: MpegConfig, seed: u64) -> Self {
-        let mut rng = Rng::new(seed ^ 0x6d70_6567);
-        let clip = (0..config.clip_frames.max(1))
-            .map(|_| {
-                let kind = if rng.chance(config.i_frame_prob) {
-                    config.i_factor
-                } else {
-                    config.p_factor
-                };
-                let jitter = (rng.gaussian() * config.jitter).exp();
-                kind * jitter
-            })
-            .collect();
         MpegPlayer {
+            clip: Vec::new(),
+            clip_rng: Rng::new(seed ^ 0x6d70_6567),
             config,
-            clip,
             frame: 0,
             phase: PlayerPhase::StartFrame,
         }
@@ -144,8 +140,18 @@ impl MpegPlayer {
     }
 
     fn frame_work(&mut self) -> Work {
-        let mult = self.clip[self.frame as usize % self.clip.len()];
-        self.config.frame_work.scaled(mult)
+        let len = self.config.clip_frames.max(1);
+        let idx = self.frame as usize % len;
+        while self.clip.len() <= idx {
+            let kind = if self.clip_rng.chance(self.config.i_frame_prob) {
+                self.config.i_factor
+            } else {
+                self.config.p_factor
+            };
+            let jitter = (self.clip_rng.gaussian() * self.config.jitter).exp();
+            self.clip.push(kind * jitter);
+        }
+        self.config.frame_work.scaled(self.clip[idx])
     }
 }
 

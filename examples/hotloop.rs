@@ -1,0 +1,102 @@
+//! Hot-loop timing: where one short simulation's wall time goes.
+//!
+//! Times `Kernel::run` under several configurations, the engine's
+//! `JobSpec::execute` (the `repro bench` hot loop), and the tick-by-tick
+//! reference kernel the batched fast path is proven against.
+//!
+//! ```sh
+//! cargo run --release --example hotloop
+//! ```
+
+use std::time::Instant;
+
+use itsy_hw::{DeviceSet, Work};
+use kernel_sim::task::FnBehavior;
+use kernel_sim::{Kernel, KernelConfig, Machine, TaskAction};
+use policies::IntervalScheduler;
+use sim_core::SimDuration;
+use workloads::{Benchmark, MpegConfig, MpegWorkload};
+
+fn time_case(label: &str, mpeg: bool, policy: bool, reference: bool) {
+    let secs = 2u64;
+    let iters = 500u32;
+    let build = || {
+        let devices = if mpeg { DeviceSet::AV } else { DeviceSet::NONE };
+        let mut k = Kernel::new(
+            Machine::itsy(10, devices),
+            KernelConfig {
+                duration: SimDuration::from_secs(secs),
+                reference,
+                ..KernelConfig::default()
+            },
+        );
+        if mpeg {
+            for t in MpegWorkload::new(MpegConfig::default(), 1).into_tasks() {
+                k.spawn(t);
+            }
+        } else {
+            k.spawn(Box::new(FnBehavior::new("busy", |_ctx| {
+                TaskAction::Compute(Work::cycles(1.0e9))
+            })));
+        }
+        if policy {
+            k.install_policy(Box::new(IntervalScheduler::best_from_paper(
+                itsy_hw::ClockTable::sa1100(),
+            )));
+        }
+        k
+    };
+    for _ in 0..50 {
+        std::hint::black_box(build().run());
+    }
+    let t = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(build().run());
+    }
+    let us = t.elapsed().as_micros() as f64;
+    let ticks = iters as f64 * secs as f64 * 100.0;
+    println!(
+        "{label:32} {:8.0} sims/s  {:6.1} ns/tick",
+        iters as f64 * 1e6 / us,
+        us * 1000.0 / ticks
+    );
+}
+
+fn time_exec(label: &str, f: &mut dyn FnMut()) {
+    let iters = 500u32;
+    for _ in 0..50 {
+        f();
+    }
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let us = t.elapsed().as_micros() as f64;
+    println!(
+        "{label:32} {:8.0} sims/s  {:6.1} us/sim",
+        iters as f64 * 1e6 / us,
+        us / iters as f64
+    );
+}
+
+fn main() {
+    time_case("mpeg + policy (batched)", true, true, false);
+    time_case("mpeg + policy (reference)", true, true, true);
+    time_case("mpeg, no policy (batched)", true, false, false);
+    time_case("busy + policy (batched)", false, true, false);
+    time_case("busy + policy (reference)", false, true, true);
+    time_case("busy, no policy (batched)", false, false, false);
+
+    let spec = engine::JobSpec::new(
+        engine::WorkloadSpec::Benchmark(Benchmark::Mpeg),
+        policies::PolicyDesc::best_from_paper(),
+        2,
+        1,
+    );
+    time_exec("JobSpec::execute (bench hot)", &mut || {
+        std::hint::black_box(spec.execute());
+    });
+    time_exec("JobSpec::execute_reference", &mut || {
+        std::hint::black_box(spec.execute_reference());
+    });
+}

@@ -1,0 +1,529 @@
+//! Differential proof that the batched uniform-span kernel is
+//! bit-identical to the tick-by-tick reference loop.
+//!
+//! The batched fast path ([`KernelConfig::reference`] = `false`, the
+//! default) skips across provably-uniform spans and delivers the
+//! skipped ticks' accounting in closed form. These tests hold its
+//! output byte-for-byte equal to the reference loop over:
+//!
+//! - the full policy matrix (constant baselines, PAST, the AVG_N
+//!   family, sliding windows, and the Govil canon: FLAT, LONG_SHORT,
+//!   AGED_AVERAGES, CYCLE, PATTERN, PEAK) with every speed-change rule
+//!   and with/without the 1.23 V voltage rule;
+//! - every shipped workload (the paper's four recorded benchmarks,
+//!   the browse + Java-poller ablation, the elastic MPEG player, and
+//!   the synthetic square wave);
+//! - hardware variants (scaled power models, batteries, odd quanta)
+//!   and kernel configuration variants (classic Linux 2.0 counter
+//!   scheduling, capped or disabled logs, battery cut-off);
+//! - randomized task soups (proptest) mixing compute, sleep, spin and
+//!   exit with random power-model constants.
+//!
+//! "Bit-identical" is literal: every `f64` is compared by `to_bits`,
+//! every series point by point, every log record field by field, and
+//! the engine-level summaries by their canonical byte encoding.
+
+use std::fmt::Write as _;
+
+use itsy_dvs::apps::Benchmark;
+use itsy_dvs::dvs::{
+    Hysteresis, PolicyDesc, PolicyRequest, PredictorDesc, SpeedChange, VoltageRule,
+};
+use itsy_dvs::engine::{HwSpec, JobSpec, WorkloadSpec};
+use itsy_dvs::hw::battery::BatteryParams;
+use itsy_dvs::hw::{Battery, ClockTable, DeviceSet, PowerModel, PowerParams, Work};
+use itsy_dvs::kernel::task::FnBehavior;
+use itsy_dvs::kernel::{Kernel, KernelConfig, KernelReport, Machine, TaskAction};
+use itsy_dvs::sim::{Rng, SimDuration};
+use proptest::prelude::*;
+
+/// Serializes every observable field of a report, with all floats
+/// rendered as raw bits. Two runs are bit-identical iff their
+/// fingerprints are equal.
+fn fingerprint(r: &KernelReport) -> String {
+    let mut s = String::new();
+    for series in [&r.utilization, &r.freq_mhz, &r.work_fraction, &r.power_w] {
+        for (t, v) in series.iter() {
+            let _ = writeln!(s, "{} {:016x}", t.as_micros(), v.to_bits());
+        }
+        s.push(';');
+    }
+    let _ = writeln!(
+        s,
+        "busy={} idle={} stalled={} spun={}",
+        r.busy.as_micros(),
+        r.idle.as_micros(),
+        r.stalled.as_micros(),
+        r.spun.as_micros()
+    );
+    let _ = writeln!(
+        s,
+        "energy={:016x} core={:016x}",
+        r.energy.as_joules().to_bits(),
+        r.core_energy.as_joules().to_bits()
+    );
+    for rec in r.sched_log.records() {
+        let _ = writeln!(s, "sched {} {} {}", rec.at_us, rec.pid, rec.clock_khz);
+    }
+    let _ = writeln!(s, "sched_dropped={}", r.sched_log.dropped());
+    for d in r.deadlines.records() {
+        let _ = writeln!(s, "dl {} {} {}", d.label, d.due_us, d.completed_us);
+    }
+    let _ = writeln!(
+        s,
+        "switches={}/{} final={}",
+        r.clock_switches, r.voltage_switches, r.final_step
+    );
+    for (pid, label, cpu) in &r.per_task_cpu {
+        let _ = writeln!(s, "task {} {} {}", pid, label, cpu.as_micros());
+    }
+    let _ = writeln!(s, "battery={:?}", r.battery_remaining.map(|b| b.to_bits()));
+    s
+}
+
+/// Runs the same kernel construction twice — batched and reference —
+/// and asserts bit-identical reports.
+fn assert_kernel_differential(label: &str, build: &dyn Fn(bool) -> Kernel) -> KernelReport {
+    let fast = build(false).run();
+    let reference = build(true).run();
+    assert_eq!(
+        fingerprint(&fast),
+        fingerprint(&reference),
+        "batched kernel diverged from reference: {label}"
+    );
+    fast
+}
+
+/// The policy matrix the suite sweeps: the paper's interval schedulers,
+/// the Govil canon, and the constant baselines.
+fn policy_matrix() -> Vec<PolicyDesc> {
+    vec![
+        PolicyDesc::constant_top(),
+        PolicyDesc::Constant {
+            step: 2,
+            voltage_mv: itsy_dvs::hw::V_LOW.as_mv(),
+        },
+        PolicyDesc::best_from_paper(),
+        PolicyDesc::best_from_paper().with_voltage_rule(VoltageRule::default()),
+        PolicyDesc::interval(
+            PredictorDesc::AvgN(3),
+            Hysteresis::PERING,
+            SpeedChange::One,
+            SpeedChange::One,
+        ),
+        PolicyDesc::interval(
+            PredictorDesc::SlidingWindow(12),
+            Hysteresis::BEST,
+            SpeedChange::Double,
+            SpeedChange::One,
+        ),
+        PolicyDesc::interval(
+            PredictorDesc::Flat(0.7),
+            Hysteresis::PERING,
+            SpeedChange::Peg,
+            SpeedChange::Double,
+        ),
+        PolicyDesc::interval(
+            PredictorDesc::LongShort,
+            Hysteresis::BEST,
+            SpeedChange::Peg,
+            SpeedChange::One,
+        ),
+        PolicyDesc::interval(
+            PredictorDesc::Aged(0.5),
+            Hysteresis::PERING,
+            SpeedChange::One,
+            SpeedChange::Peg,
+        )
+        .with_voltage_rule(VoltageRule::default()),
+        PolicyDesc::interval(
+            PredictorDesc::Cycle,
+            Hysteresis::BEST,
+            SpeedChange::Peg,
+            SpeedChange::Peg,
+        ),
+        PolicyDesc::interval(
+            PredictorDesc::Pattern,
+            Hysteresis::BEST,
+            SpeedChange::Peg,
+            SpeedChange::Peg,
+        ),
+        PolicyDesc::interval(
+            PredictorDesc::Peak,
+            Hysteresis::PERING,
+            SpeedChange::One,
+            SpeedChange::One,
+        ),
+        PolicyDesc::SimpleAvg { window: 8 },
+    ]
+}
+
+/// Every shipped workload shape the engine can simulate.
+fn workload_matrix() -> Vec<WorkloadSpec> {
+    let mut w: Vec<WorkloadSpec> = Benchmark::ALL
+        .into_iter()
+        .map(WorkloadSpec::Benchmark)
+        .collect();
+    w.push(WorkloadSpec::WebBrowse { poller: true });
+    w.push(WorkloadSpec::MpegElastic);
+    w.push(WorkloadSpec::SquareWave { busy: 3, idle: 5 });
+    w
+}
+
+#[test]
+fn policy_matrix_is_bit_identical_on_every_workload() {
+    for workload in workload_matrix() {
+        for policy in policy_matrix() {
+            for seed in [1, 42] {
+                let spec = JobSpec::new(workload, policy, 3, seed);
+                let fast = spec.execute();
+                let reference = spec.execute_reference();
+                assert_eq!(
+                    fast.encode(),
+                    reference.encode(),
+                    "diverged: {} seed {seed}",
+                    spec.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hardware_variants_are_bit_identical() {
+    let variants = [
+        HwSpec::STOCK,
+        // Hot silicon, dim backlight.
+        HwSpec {
+            core_ppm: 1_200_000,
+            base_ppm: 900_000,
+            ..HwSpec::STOCK
+        },
+        // Small battery, partly discharged (drains but does not empty).
+        HwSpec {
+            battery_mwh: 500,
+            charge_pct: 40,
+            ..HwSpec::STOCK
+        },
+    ];
+    for hw in variants {
+        for policy in [
+            PolicyDesc::best_from_paper(),
+            PolicyDesc::best_from_paper().with_voltage_rule(VoltageRule::default()),
+        ] {
+            let spec =
+                JobSpec::new(WorkloadSpec::Benchmark(Benchmark::Mpeg), policy, 3, 7).with_hw(hw);
+            assert_eq!(
+                spec.execute().encode(),
+                spec.execute_reference().encode(),
+                "hw variant {} diverged on {}",
+                hw.canonical(),
+                spec.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn odd_quantum_is_bit_identical() {
+    // A 7 ms quantum misaligns every periodic workload event with the
+    // tick grid, exercising the span-boundary logic hard.
+    for q_ms in [5, 7, 30] {
+        let spec = JobSpec::new(
+            WorkloadSpec::Benchmark(Benchmark::Mpeg),
+            PolicyDesc::best_from_paper(),
+            3,
+            1,
+        )
+        .with_quantum(SimDuration::from_millis(q_ms));
+        assert_eq!(
+            spec.execute().encode(),
+            spec.execute_reference().encode(),
+            "quantum {q_ms} ms diverged"
+        );
+    }
+}
+
+/// Kernel-level differential over configuration variants the engine
+/// never sets, compared field-by-field (series samples, logs, totals).
+#[test]
+fn kernel_config_variants_are_bit_identical() {
+    let variants: Vec<(&str, KernelConfig)> = vec![
+        ("default", KernelConfig::default()),
+        (
+            "classic counter scheduling",
+            KernelConfig {
+                force_schedule_every_tick: false,
+                default_counter: 3,
+                ..KernelConfig::default()
+            },
+        ),
+        (
+            "logs off",
+            KernelConfig {
+                log_sched: false,
+                record_power: false,
+                ..KernelConfig::default()
+            },
+        ),
+        (
+            "capped sched log",
+            KernelConfig {
+                sched_log_capacity: Some(16),
+                ..KernelConfig::default()
+            },
+        ),
+    ];
+    for (label, cfg) in variants {
+        let report = assert_kernel_differential(label, &|reference| {
+            let mut k = Kernel::new(
+                Machine::itsy(10, DeviceSet::AV),
+                KernelConfig {
+                    duration: SimDuration::from_secs(3),
+                    reference,
+                    ..cfg.clone()
+                },
+            );
+            Benchmark::Mpeg.spawn_into(&mut k, 5);
+            k.install_policy(PolicyDesc::best_from_paper().build(ClockTable::sa1100()));
+            k
+        });
+        assert!(
+            report.busy + report.idle <= SimDuration::from_secs(3),
+            "{label}: accounting exceeds the run"
+        );
+    }
+}
+
+#[test]
+fn battery_cutoff_mid_span_is_bit_identical() {
+    // A battery small enough to die mid-run: the cut-off lands inside
+    // an idle or work span and must stop both kernels at the same
+    // microsecond with the same partial accounting.
+    for nominal_wh in [5e-5, 2.3e-4, 1.1e-3] {
+        let report = assert_kernel_differential("battery cutoff", &|reference| {
+            let battery = Battery::with_charge_fraction(
+                BatteryParams {
+                    nominal_wh,
+                    ..BatteryParams::default()
+                },
+                1.0,
+            );
+            let mut k = Kernel::new(
+                Machine::itsy(10, DeviceSet::AV).with_battery(battery),
+                KernelConfig {
+                    duration: SimDuration::from_secs(3),
+                    stop_when_battery_empty: true,
+                    reference,
+                    ..KernelConfig::default()
+                },
+            );
+            Benchmark::Mpeg.spawn_into(&mut k, 3);
+            k.install_policy(PolicyDesc::best_from_paper().build(ClockTable::sa1100()));
+            k
+        });
+        assert!(
+            report.busy + report.idle < SimDuration::from_secs(3),
+            "battery {nominal_wh} Wh should have died mid-run"
+        );
+    }
+}
+
+/// A task soup driven by a forked RNG: compute bursts, sleeps, spins
+/// and the occasional exit, in random proportion.
+fn spawn_random_soup(k: &mut Kernel, seed: u64, tasks: u64) {
+    let mut root = Rng::new(seed);
+    for i in 0..tasks {
+        let mut rng = root.fork(i);
+        k.spawn(Box::new(FnBehavior::new(
+            format!("soup-{i}"),
+            move |ctx| match rng.below(10) {
+                0..=4 => TaskAction::Compute(Work::new(
+                    rng.uniform_range(1e4, 4e6),
+                    rng.uniform_range(0.0, 2e4),
+                    rng.uniform_range(0.0, 1e3),
+                )),
+                5..=6 => TaskAction::SleepUntil(
+                    ctx.now + SimDuration::from_micros(rng.below(120_000) + 1),
+                ),
+                7..=8 => {
+                    TaskAction::SpinUntil(ctx.now + SimDuration::from_micros(rng.below(25_000) + 1))
+                }
+                _ if rng.chance(0.02) => TaskAction::Exit,
+                _ => TaskAction::SleepUntil(
+                    ctx.now + SimDuration::from_micros(rng.below(500_000) + 1),
+                ),
+            },
+        )));
+    }
+}
+
+proptest! {
+    /// Random task soups under a random policy: the fast path may
+    /// never diverge, whatever the trace looks like.
+    #[test]
+    fn random_soups_are_bit_identical(
+        seed in 0u64..u64::MAX,
+        tasks in 1u64..4,
+        policy_idx in 0usize..13,
+        step in 0u8..11,
+    ) {
+        let policy = policy_matrix().swap_remove(policy_idx);
+        assert_kernel_differential("random soup", &|reference| {
+            let mut k = Kernel::new(
+                Machine::itsy(step as usize, DeviceSet::NONE),
+                KernelConfig {
+                    duration: SimDuration::from_secs(2),
+                    reference,
+                    ..KernelConfig::default()
+                },
+            );
+            spawn_random_soup(&mut k, seed, tasks);
+            k.install_policy(policy.build(ClockTable::sa1100()));
+            k
+        });
+    }
+
+    /// Skip-ahead never jumps past an event boundary: sleepers wake at
+    /// the first tick at or after their requested time, bit-identically
+    /// to the reference — and those wakes are tick-aligned.
+    #[test]
+    fn sleeper_wakes_are_never_skipped(
+        seed in 0u64..u64::MAX,
+        sleep_us in 1u64..200_000,
+    ) {
+        let report = assert_kernel_differential("sleeper", &|reference| {
+            let mut rng = Rng::new(seed);
+            let mut k = Kernel::new(
+                Machine::itsy(10, DeviceSet::NONE),
+                KernelConfig {
+                    duration: SimDuration::from_secs(2),
+                    reference,
+                    ..KernelConfig::default()
+                },
+            );
+            k.spawn(Box::new(FnBehavior::new("sleeper", move |ctx| {
+                // Sleep-only: every schedule this task causes is a
+                // wake, and Linux 2.0 jiffy semantics put wakes on the
+                // 10 ms grid — so any span that jumped a wake tick
+                // would surface as an off-grid (or missing) record.
+                let jitter = rng.below(3_000);
+                TaskAction::SleepUntil(ctx.now + SimDuration::from_micros(sleep_us + jitter))
+            })));
+            // Constant top speed: no clock transitions, so no post-stall
+            // reschedules — every record left is a tick-aligned wake.
+            k.install_policy(PolicyDesc::constant_top().build(ClockTable::sa1100()));
+            k
+        });
+        // Every non-idle schedule after a sleep lands on the 10 ms
+        // grid: a span that jumped a wake tick would shift these.
+        for rec in report.sched_log.records() {
+            prop_assert_eq!(
+                rec.at_us % 10_000,
+                0,
+                "schedule off the tick grid at {}",
+                rec.at_us
+            );
+        }
+    }
+
+    /// Idle-span energy is exact under random power-model constants:
+    /// the closed-form per-quantum sum the span path delivers equals
+    /// the reference's tick-by-tick integration bit for bit.
+    #[test]
+    fn idle_span_energy_is_exact_for_any_power_model(
+        core_w_per_mhz in 1e-4f64..1e-2,
+        v2_fraction in 0.0f64..1.0,
+        nap_fraction in 0.05f64..1.0,
+        base_w in 0.1f64..2.0,
+        step in 0u8..11,
+    ) {
+        let params = PowerParams {
+            core_w_per_mhz,
+            v2_fraction,
+            nap_fraction,
+            base_w,
+            ..PowerParams::default()
+        };
+        let report = assert_kernel_differential("idle power model", &|reference| {
+            let mut machine = Machine::itsy(step as usize, DeviceSet::NONE);
+            machine.power = PowerModel::new(params.clone());
+            Kernel::new(
+                machine,
+                KernelConfig {
+                    duration: SimDuration::from_secs(2),
+                    reference,
+                    ..KernelConfig::default()
+                },
+            )
+        });
+        // The whole run is one idle span; its energy must equal the
+        // closed-form sum of the per-quantum deliveries it replaced.
+        let machine = Machine::itsy(step as usize, DeviceSet::NONE);
+        let model = PowerModel::new(params);
+        let p = model.core_power(
+            itsy_dvs::hw::CpuMode::Nap,
+            machine.cpu.freq(),
+            machine.cpu.voltage(),
+        ) + model.peripheral_power(DeviceSet::NONE);
+        let q = SimDuration::from_millis(10);
+        let expected = (0..200).fold(itsy_dvs::sim::Energy::ZERO, |e, _| e + p.over(q));
+        prop_assert_eq!(
+            report.energy.as_joules().to_bits(),
+            expected.as_joules().to_bits(),
+            "idle energy differs from the closed-form span sum"
+        );
+        prop_assert_eq!(report.idle, SimDuration::from_secs(2));
+        prop_assert_eq!(report.busy, SimDuration::ZERO);
+    }
+
+    /// Span time accounting equals the closed-form sum of the ticks it
+    /// replaced: busy + idle always partitions the simulated duration
+    /// exactly (no tick lost or double-counted by a span jump).
+    #[test]
+    fn span_accounting_partitions_the_run(
+        seed in 0u64..u64::MAX,
+        tasks in 1u64..4,
+    ) {
+        let report = assert_kernel_differential("partition", &|reference| {
+            let mut k = Kernel::new(
+                Machine::itsy(10, DeviceSet::NONE),
+                KernelConfig {
+                    duration: SimDuration::from_secs(2),
+                    reference,
+                    ..KernelConfig::default()
+                },
+            );
+            spawn_random_soup(&mut k, seed, tasks);
+            k.install_policy(PolicyDesc::best_from_paper().build(ClockTable::sa1100()));
+            k
+        });
+        prop_assert_eq!(report.busy + report.idle, SimDuration::from_secs(2));
+        prop_assert!(report.stalled <= report.busy);
+        prop_assert!(report.spun <= report.busy);
+    }
+}
+
+/// The traced path always runs the reference loop (per-tick events make
+/// every tick observable, so there is nothing to batch); its summary
+/// must therefore agree with both entry points.
+#[test]
+fn traced_runs_agree_with_both_paths() {
+    let spec = JobSpec::new(
+        WorkloadSpec::Benchmark(Benchmark::Mpeg),
+        PolicyDesc::best_from_paper(),
+        2,
+        9,
+    );
+    let (traced, trace) = spec.execute_traced();
+    assert_eq!(traced.encode(), spec.execute().encode());
+    assert_eq!(traced.encode(), spec.execute_reference().encode());
+    assert!(!trace.events().is_empty(), "tracing must capture events");
+}
+
+// Referenced to keep the facade import honest; the matrix builds
+// policies through descriptors only.
+#[allow(dead_code)]
+fn _policy_request_type_exists(r: PolicyRequest) -> PolicyRequest {
+    r
+}
