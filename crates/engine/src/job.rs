@@ -12,7 +12,7 @@ use itsy_hw::{
 };
 use kernel_sim::{Kernel, KernelConfig, Machine, SimScratch};
 use policies::PolicyDesc;
-use sim_core::SimDuration;
+use sim_core::{SimDuration, SimFidelity};
 use workloads::{
     web::Browser, Benchmark, JavaPoller, MpegConfig, MpegWorkload, SquareWave, WebWorkload,
 };
@@ -183,6 +183,12 @@ pub struct JobSpec {
     /// The device hardware (stock mains-powered Itsy unless a fleet
     /// generator spread it).
     pub hw: HwSpec,
+    /// Simulation fidelity. [`SimFidelity::Full`] records every
+    /// per-tick series (and keys the cache under [`SIM_VERSION`],
+    /// keeping historical goldens byte-identical);
+    /// [`SimFidelity::Summary`] skips series emission for the fleet
+    /// hot path and keys under [`SUMMARY_SIM_VERSION`].
+    pub fidelity: SimFidelity,
 }
 
 impl JobSpec {
@@ -198,6 +204,7 @@ impl JobSpec {
             seed,
             tolerance: SimDuration::from_millis(100),
             hw: HwSpec::STOCK,
+            fidelity: SimFidelity::Full,
         }
     }
 
@@ -219,14 +226,24 @@ impl JobSpec {
         self
     }
 
+    /// Overrides the simulation fidelity.
+    pub fn with_fidelity(mut self, fidelity: SimFidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
     /// The spec's full canonical encoding. Every field participates;
     /// `SIM_VERSION` is a format/semantics fence — bump it when the
     /// simulator's behavior changes in ways that should invalidate
     /// cached results.
+    ///
+    /// Full-fidelity specs keep the historical `v3` encoding byte for
+    /// byte (existing caches and goldens stay valid); Summary specs
+    /// encode under [`SUMMARY_SIM_VERSION`] with an explicit `fid`
+    /// field, so the two fidelities can never collide in the cache.
     pub fn canonical(&self) -> String {
-        format!(
-            "v{};wl={};policy={};dur_us={};quantum_us={};step={};seed={};tol_us={};hw={}",
-            SIM_VERSION,
+        let common = format!(
+            "wl={};policy={};dur_us={};quantum_us={};step={};seed={};tol_us={};hw={}",
             self.workload.canonical(),
             self.policy.canonical(),
             self.duration.as_micros(),
@@ -235,7 +252,15 @@ impl JobSpec {
             self.seed,
             self.tolerance.as_micros(),
             self.hw.canonical(),
-        )
+        );
+        if self.fidelity.is_summary() {
+            format!(
+                "v{SUMMARY_SIM_VERSION};{common};fid={}",
+                self.fidelity.tag()
+            )
+        } else {
+            format!("v{SIM_VERSION};{common}")
+        }
     }
 
     /// The spec's content address.
@@ -289,6 +314,7 @@ impl JobSpec {
             duration: self.duration,
             trace,
             reference,
+            fidelity: self.fidelity,
             ..KernelConfig::default()
         };
         if let Some(q) = self.quantum {
@@ -321,7 +347,7 @@ impl JobSpec {
         let result = JobResult {
             energy_j: report.energy.as_joules(),
             core_energy_j: report.core_energy.as_joules(),
-            mean_freq_mhz: report.freq_mhz.mean().unwrap_or(0.0),
+            mean_freq_mhz: report.mean_freq_mhz(),
             mean_utilization: report.mean_utilization(),
             misses: report.deadlines.misses(self.tolerance) as u64,
             max_lateness_us: report.deadlines.max_lateness().as_micros(),
@@ -348,6 +374,14 @@ impl JobSpec {
 /// v3: [`JobSpec`] gained the [`HwSpec`] hardware field (fleet
 /// per-device variation) and [`JobResult`] gained `battery_remaining`.
 pub const SIM_VERSION: u32 = 3;
+
+/// Version fence for [`SimFidelity::Summary`] specs. Summary runs skip
+/// per-tick series emission and derive means from closed-form integer
+/// accumulators, which can differ from the series means in the last few
+/// ULPs — so they live in their own cache namespace. Full-fidelity
+/// specs still encode as `v3` and keep every existing cache entry and
+/// golden valid.
+pub const SUMMARY_SIM_VERSION: u32 = 4;
 
 /// The summarized outcome of one run — everything the experiment
 /// harnesses consume, in cache-friendly plain-number form.
@@ -481,6 +515,58 @@ mod tests {
             SpeedChange::Peg,
         );
         assert_ne!(base.key(), other.key(), "policy is part of the address");
+    }
+
+    #[test]
+    fn full_canonical_is_the_historical_v3_string() {
+        // Full-fidelity specs must keep encoding exactly as before the
+        // fidelity field existed — every cached result and golden keys
+        // off this string.
+        assert_eq!(
+            spec().canonical(),
+            format!(
+                "v3;wl=bench:MPEG;policy={};dur_us=2000000;quantum_us=0;step=10;\
+                 seed=1;tol_us=100000;hw=1000000,1000000,0,100",
+                PolicyDesc::best_from_paper().canonical()
+            )
+        );
+    }
+
+    #[test]
+    fn summary_specs_key_in_their_own_version_namespace() {
+        let full = spec();
+        let summary = spec().with_fidelity(SimFidelity::Summary);
+        assert_ne!(full.key(), summary.key(), "fidelity is part of the address");
+        assert!(summary.canonical().starts_with("v4;"));
+        assert!(summary.canonical().ends_with(";fid=summary"));
+        // Explicit Full is the default encoding, not a third namespace.
+        assert_eq!(
+            spec().with_fidelity(SimFidelity::Full).canonical(),
+            full.canonical()
+        );
+    }
+
+    #[test]
+    fn summary_execution_matches_full_on_integer_fields() {
+        let full = spec().execute();
+        let summary = spec().with_fidelity(SimFidelity::Summary).execute();
+        assert_eq!(summary.misses, full.misses);
+        assert_eq!(summary.max_lateness_us, full.max_lateness_us);
+        assert_eq!(summary.clock_switches, full.clock_switches);
+        assert_eq!(summary.voltage_switches, full.voltage_switches);
+        assert_eq!(summary.final_step, full.final_step);
+        assert_eq!(summary.frames_shown, full.frames_shown);
+        assert_eq!(summary.frames_dropped, full.frames_dropped);
+        assert!(
+            (summary.energy_j - full.energy_j).abs() / full.energy_j < 1e-9,
+            "summary energy {} vs full {}",
+            summary.energy_j,
+            full.energy_j
+        );
+        assert!((summary.mean_freq_mhz - full.mean_freq_mhz).abs() < 1e-6);
+        assert!((summary.mean_utilization - full.mean_utilization).abs() < 1e-9);
+        // Summary disables the sched log outright — nothing dropped.
+        assert_eq!(summary.sched_dropped, 0);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod stream;
 pub use cache::{CacheProbe, ResultCache};
 pub use engine::{BatchOutcome, BatchStats, Engine, EngineConfig, JobFailure};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
-pub use job::{HwSpec, JobResult, JobSpec, WorkloadSpec, SIM_VERSION};
+pub use job::{HwSpec, JobResult, JobSpec, WorkloadSpec, SIM_VERSION, SUMMARY_SIM_VERSION};
 pub use journal::Journal;
 pub use key::ContentKey;
 pub use stream::{StreamOutcome, StreamStats};

@@ -13,7 +13,10 @@
 //!   histogram gives cache-probe latency percentiles;
 //! - **hot loop** — one MPEG cell under the paper's best policy run
 //!   back-to-back on the calling thread: simulator-core throughput
-//!   with no engine around it;
+//!   with no engine around it. Timed three ways (batched full
+//!   fidelity, tick-by-tick reference, and summary fidelity), each as
+//!   the median of [`BenchConfig::hot_rounds`] timed rounds so one
+//!   scheduler hiccup cannot sink the measured speedups;
 //! - **trace export** — the `avgn` scenario's structured-event
 //!   export, rated in events per second;
 //! - **fleet stream** — a seeded device population pushed through
@@ -24,8 +27,9 @@
 //!   trace recording, YDS critical intervals, and the online canon,
 //!   rated in result rows per second.
 //!
-//! The report's flat `"gate"` object holds the six throughput
-//! numbers. `repro bench --baseline <file>` re-reads a previous
+//! The report's flat `"gate"` object holds the throughput numbers
+//! plus the batched-vs-reference speedup (so a baseline can pin the
+//! fast path at >= 1.0x, i.e. never slower than the oracle loop). `repro bench --baseline <file>` re-reads a previous
 //! report's gate and fails (exit code 1) when any metric regresses
 //! more than `--bench-tolerance` percent — wall-clock throughput is
 //! machine-dependent, so baselines only travel within one machine
@@ -43,7 +47,7 @@ use std::time::Instant;
 
 use engine::{Engine, EngineConfig, JobSpec, WorkloadSpec};
 use policies::PolicyDesc;
-use sim_core::rate_per_sec;
+use sim_core::{rate_per_sec, SimFidelity};
 use workloads::Benchmark;
 
 use crate::{sweep, trace_exp};
@@ -62,6 +66,11 @@ pub struct BenchConfig {
     pub hot_iters: u32,
     /// Simulated seconds per hot-loop iteration.
     pub hot_secs: u64,
+    /// Timed rounds per hot-loop variant; the *median* round is
+    /// reported. One round of a few milliseconds is inside scheduler
+    /// noise — medians of several rounds keep `speedup_vs_reference`
+    /// from dipping below 1.0 on a preempted round.
+    pub hot_rounds: u32,
     /// Warm-sweep repetitions per profiler state (minimum wall time
     /// is reported, the usual noise floor for micro wall clocks).
     pub warm_reps: u32,
@@ -74,6 +83,10 @@ pub struct BenchConfig {
     pub trace_secs: u64,
     /// Devices streamed through the fleet phase (1-second runs each).
     pub fleet_devices: u64,
+    /// Fidelity the fleet phase simulates its devices at (the fleet
+    /// default is [`SimFidelity::Summary`]; `--fidelity full` restores
+    /// the historical series-recording path for comparison).
+    pub fleet_fidelity: SimFidelity,
     /// Seconds of work trace per benchmark in the optgap phase.
     pub optgap_secs: u64,
     /// Engine state root. `None` uses (and afterwards removes) a
@@ -87,16 +100,36 @@ impl Default for BenchConfig {
             seed: 1,
             jobs: 0,
             grid: sweep::SweepConfig::quick(),
-            hot_iters: 200,
+            hot_iters: 1_000,
             hot_secs: 2,
+            hot_rounds: 3,
             warm_reps: 5,
             warm_rounds: 50,
             trace_secs: 3,
             fleet_devices: 2_000,
+            fleet_fidelity: SimFidelity::Summary,
             optgap_secs: 5,
             state_root: None,
         }
     }
+}
+
+/// Times `iters` calls of `f` once per round and returns the median
+/// round's wall time in µs (rounds are sorted; even counts take the
+/// lower middle). Medians shrug off the occasional preempted round
+/// that a single timing or a mean would absorb.
+fn median_round_us(rounds: u32, iters: u32, mut f: impl FnMut()) -> u64 {
+    let mut times: Vec<u64> = (0..rounds.max(1))
+        .map(|_| {
+            let started = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            started.elapsed().as_micros() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[(times.len() - 1) / 2]
 }
 
 /// The finished report: the JSON document, its parsed gate, and a
@@ -177,31 +210,39 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
     let hit_p = |q: f64| hit_hist.and_then(|h| h.percentile(q)).unwrap_or(0.0);
 
     // Phase 3: hot loop — the simulator core alone, single thread.
-    // Timed twice: the batched kernel (the production path, gated) and
-    // the tick-by-tick reference oracle, so the report carries the
-    // measured batched-vs-reference speedup alongside the throughput.
+    // Timed three ways, each as a median of `hot_rounds` rounds: the
+    // batched full-fidelity kernel (the production path, gated), the
+    // tick-by-tick reference oracle, and the summary-fidelity span
+    // skipper the fleet runs on. The report carries both speedups
+    // against the reference alongside the raw throughputs.
     let hot_spec = JobSpec::new(
         WorkloadSpec::Benchmark(Benchmark::Mpeg),
         PolicyDesc::best_from_paper(),
         cfg.hot_secs,
         cfg.seed,
     );
-    let hot_started = Instant::now();
-    for _ in 0..cfg.hot_iters {
+    let summary_spec = hot_spec.clone().with_fidelity(SimFidelity::Summary);
+    let hot_rounds = cfg.hot_rounds.max(1);
+    let hot_us = median_round_us(hot_rounds, cfg.hot_iters, || {
         std::hint::black_box(hot_spec.execute());
-    }
-    let hot_us = hot_started.elapsed().as_micros() as u64;
+    });
     let ref_iters = (cfg.hot_iters / 4).max(1);
-    let ref_started = Instant::now();
-    for _ in 0..ref_iters {
+    let ref_us = median_round_us(hot_rounds, ref_iters, || {
         std::hint::black_box(hot_spec.execute_reference());
-    }
-    let ref_us = ref_started.elapsed().as_micros() as u64;
-    let hot_speedup = if hot_us > 0 && ref_iters > 0 {
-        (ref_us as f64 / ref_iters as f64) / (hot_us as f64 / cfg.hot_iters.max(1) as f64)
-    } else {
-        0.0
+    });
+    let summary_us = median_round_us(hot_rounds, cfg.hot_iters, || {
+        std::hint::black_box(summary_spec.execute());
+    });
+    let per_iter = |wall_us: u64, iters: u32| wall_us as f64 / iters.max(1) as f64;
+    let speedup_vs = |wall_us: u64, iters: u32| {
+        if wall_us > 0 {
+            per_iter(ref_us, ref_iters) / per_iter(wall_us, iters)
+        } else {
+            0.0
+        }
     };
+    let hot_speedup = speedup_vs(hot_us, cfg.hot_iters);
+    let summary_speedup = speedup_vs(summary_us, cfg.hot_iters);
 
     // Phase 4: trace export.
     let trace_started = Instant::now();
@@ -211,7 +252,8 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
 
     // Phase 5: fleet stream — population throughput through
     // `run_stream` (no cache involved; streaming skips it).
-    let population = fleet::PopulationConfig::new(cfg.fleet_devices, cfg.seed);
+    let population =
+        fleet::PopulationConfig::new(cfg.fleet_devices, cfg.seed).with_fidelity(cfg.fleet_fidelity);
     let fleet_out = fleet::run(&Engine::new(engine_config()), "bench-fleet", &population);
 
     // Phase 6: optgap — trace recording plus the exact-optimum and
@@ -240,6 +282,11 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
             "hot_sims_per_sec",
             rate_per_sec(cfg.hot_iters as u64, hot_us),
         ),
+        (
+            "summary_sims_per_sec",
+            rate_per_sec(cfg.hot_iters as u64, summary_us),
+        ),
+        ("speedup_vs_reference", hot_speedup),
         (
             "trace_events_per_sec",
             rate_per_sec(trace.events as u64, trace_us),
@@ -328,6 +375,7 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
     json.push_str("  \"hot_loop\": {\n");
     let _ = writeln!(json, "    \"iters\": {},", cfg.hot_iters);
     let _ = writeln!(json, "    \"sim_secs\": {},", cfg.hot_secs);
+    let _ = writeln!(json, "    \"rounds\": {hot_rounds},");
     let _ = writeln!(json, "    \"wall_us\": {hot_us},");
     let _ = writeln!(json, "    \"reference_iters\": {ref_iters},");
     let _ = writeln!(json, "    \"reference_wall_us\": {ref_us},");
@@ -337,6 +385,16 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
         rate_per_sec(ref_iters as u64, ref_us)
     );
     let _ = writeln!(json, "    \"speedup_vs_reference\": {hot_speedup:.6},");
+    let _ = writeln!(json, "    \"summary_wall_us\": {summary_us},");
+    let _ = writeln!(
+        json,
+        "    \"summary_sims_per_sec\": {:.6},",
+        gate["summary_sims_per_sec"]
+    );
+    let _ = writeln!(
+        json,
+        "    \"summary_speedup_vs_reference\": {summary_speedup:.6},"
+    );
     let _ = writeln!(
         json,
         "    \"sims_per_sec\": {:.6}",
@@ -354,6 +412,7 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
     );
     json.push_str("  },\n");
     json.push_str("  \"fleet\": {\n");
+    let _ = writeln!(json, "    \"fidelity\": \"{}\",", cfg.fleet_fidelity);
     let _ = writeln!(json, "    \"devices\": {},", fleet_out.stats.total);
     let _ = writeln!(json, "    \"executed\": {},", fleet_out.stats.executed);
     let _ = writeln!(json, "    \"wall_us\": {},", fleet_out.stats.elapsed_us);
@@ -405,8 +464,13 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
     );
     let _ = writeln!(
         summary,
-        "hot  : {} x {} s MPEG sims -> {:.2} sims/s ({:.2}x vs reference kernel)",
-        cfg.hot_iters, cfg.hot_secs, gate["hot_sims_per_sec"], hot_speedup,
+        "hot  : {} x {} s MPEG sims -> {:.2} sims/s ({:.2}x vs reference kernel, median of {} rounds)",
+        cfg.hot_iters, cfg.hot_secs, gate["hot_sims_per_sec"], hot_speedup, hot_rounds,
+    );
+    let _ = writeln!(
+        summary,
+        "summ : {} x {} s MPEG sims -> {:.2} sims/s ({:.2}x vs reference kernel)",
+        cfg.hot_iters, cfg.hot_secs, gate["summary_sims_per_sec"], summary_speedup,
     );
     let _ = writeln!(
         summary,
@@ -417,8 +481,9 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
     );
     let _ = writeln!(
         summary,
-        "fleet: {} devices in {:.2} s -> {:.0} devices/s (peak RSS {:.1} MiB)",
+        "fleet: {} devices ({}) in {:.2} s -> {:.0} devices/s (peak RSS {:.1} MiB)",
         fleet_out.stats.total,
+        cfg.fleet_fidelity,
         fleet_out.stats.elapsed_us as f64 / 1e6,
         gate["fleet_devices_per_sec"],
         fleet_out.metrics.peak_rss_bytes as f64 / (1024.0 * 1024.0),
@@ -540,6 +605,7 @@ mod tests {
             },
             hot_iters: 2,
             hot_secs: 1,
+            hot_rounds: 1,
             warm_reps: 1,
             warm_rounds: 1,
             trace_secs: 1,
@@ -565,10 +631,15 @@ mod tests {
             "\"stages\"",
             "\"reference_sims_per_sec\"",
             "\"speedup_vs_reference\"",
+            "\"summary_sims_per_sec\"",
+            "\"summary_speedup_vs_reference\"",
+            "\"fidelity\": \"summary\"",
         ] {
             assert!(report.json.contains(section), "missing {section}");
         }
-        assert_eq!(report.gate.len(), 6);
+        assert_eq!(report.gate.len(), 8);
+        assert!(report.gate.contains_key("summary_sims_per_sec"));
+        assert!(report.gate.contains_key("speedup_vs_reference"));
         for (metric, &value) in &report.gate {
             assert!(value > 0.0, "{metric} = {value}");
         }
@@ -581,6 +652,17 @@ mod tests {
         assert!(report.json.contains("\"stage\": \"simulate\""));
         // And the harness leaves global profiling off.
         assert!(!obs::span::enabled());
+    }
+
+    #[test]
+    fn median_round_runs_every_round_and_iter() {
+        let mut calls = 0u32;
+        let _us = median_round_us(3, 4, || calls += 1);
+        assert_eq!(calls, 12, "3 rounds x 4 iters");
+        // Degenerate inputs clamp instead of panicking.
+        let mut calls = 0u32;
+        let _us = median_round_us(0, 1, || calls += 1);
+        assert_eq!(calls, 1);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!       [--sweep-secs N] [--trace-secs N] [--optgap-secs N]
 //!       [--fault-plan SPEC] [--profile]
 //!       [--baseline FILE] [--bench-tolerance PCT] [--bench-iters N]
-//!       [--devices N] [--device-secs N]
+//!       [--devices N] [--device-secs N] [--fidelity full|summary]
 //!       [all | fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!        table1 table2 table3 battery sa2 cost
 //!        sweep sweep-full deadline ablation govil elastic
@@ -64,6 +64,10 @@
 //! `results/fleet/population_summary.txt` — canonical bytes that are
 //! identical for any `--jobs` and any cache state — plus a `fleet.csv`
 //! digest and the usual `metrics.json` (including `peak_rss_bytes`).
+//! Devices simulate at summary fidelity by default (no per-tick series
+//! are materialized); `--fidelity full` restores the historical
+//! series-recording path. The flag also selects the fidelity of
+//! `bench`'s fleet phase.
 //!
 //! `bench` is the performance-regression harness (see EXPERIMENTS.md):
 //! it times a cold sweep, a warm (all-cache-hit) sweep, a single-thread
@@ -170,6 +174,13 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let fidelity: Option<sim_core::SimFidelity> =
+        take_value_flag(&mut args, "--fidelity").map(|v| {
+            sim_core::SimFidelity::parse(&v).unwrap_or_else(|| {
+                eprintln!("bad --fidelity value: {v} (expected full or summary)");
+                std::process::exit(2);
+            })
+        });
     if take_bool_flag(&mut args, "--quiet") {
         obs::set_verbosity(obs::Level::Error);
     } else if take_bool_flag(&mut args, "-v") {
@@ -480,6 +491,9 @@ fn main() {
                 if let Some(secs) = device_secs {
                     population.device_secs = secs;
                 }
+                if let Some(f) = fidelity {
+                    population.fidelity = f;
+                }
                 let artifacts = fleet_cmd::run_with(&engine, &population).expect("save fleet");
                 let stats = &artifacts.outcome.stats;
                 print!("{}", fleet::digest(&artifacts.outcome.acc));
@@ -515,6 +529,9 @@ fn main() {
                 }
                 if let Some(iters) = bench_iters {
                     cfg.hot_iters = iters;
+                }
+                if let Some(f) = fidelity {
+                    cfg.fleet_fidelity = f;
                 }
                 // Read the baseline gate before saving: saving
                 // rewrites BENCH_latest.json, which is a perfectly

@@ -63,6 +63,9 @@ fn summary_bytes_survive_cache_state_and_chaos() {
     assert_eq!(plain, no_cache, "cache flag must not change the bytes");
 
     // Injected worker panics with retries enabled: same bytes.
+    // max_panics=2 matches the engine's default retry budget, so every
+    // job is *guaranteed* to complete within its retries — the test
+    // must hold for any job-key set, not just a lucky seed.
     let (chaotic, _) = run_fleet(
         "chaos",
         "40",
@@ -70,7 +73,7 @@ fn summary_bytes_survive_cache_state_and_chaos() {
             "--jobs",
             "4",
             "--fault-plan",
-            "seed=3,panic=0.5,max_panics=20",
+            "seed=3,panic=0.5,max_panics=2",
         ],
     );
     assert_eq!(plain, chaotic, "chaos with retries must not change bytes");
@@ -93,6 +96,44 @@ fn seed_and_size_change_the_population() {
 
     let (smaller, _) = run_fleet("small", "12", &[]);
     assert!(smaller.starts_with("fleet-summary v1 devices=12 "));
+}
+
+/// The summary-fidelity memory claim: with per-device horizons long
+/// enough that per-tick series would dominate the scratch arena, a
+/// summary-fidelity fleet run must peak well below the same run at
+/// full fidelity. Runs each fidelity in its own `repro` subprocess —
+/// the VmHWM probe is a *process-wide* high-water mark, so two
+/// fidelities measured in one process would alias to the larger run —
+/// and reads both numbers back from the runs' `metrics.json`.
+#[test]
+fn summary_fidelity_cuts_fleet_peak_rss() {
+    let rss_of = |tag: &str, fidelity: &str| -> u64 {
+        let (_, metrics) = run_fleet(
+            tag,
+            "40",
+            &[
+                "--device-secs",
+                "240",
+                "--fidelity",
+                fidelity,
+                "--jobs",
+                "1",
+            ],
+        );
+        metrics
+            .split("\"peak_rss_bytes\": ")
+            .nth(1)
+            .and_then(|rest| rest.split(&[',', '\n'][..]).next())
+            .and_then(|v| v.trim().parse().ok())
+            .expect("metrics.json records peak_rss_bytes")
+    };
+    let full = rss_of("rss-full", "full");
+    let summary = rss_of("rss-summary", "summary");
+    assert!(full > 0 && summary > 0, "RSS probes must read VmHWM");
+    assert!(
+        summary < full,
+        "summary fidelity must not out-peak full: {summary} vs {full} bytes"
+    );
 }
 
 /// The bounded-memory claim: peak RSS after streaming 10x the devices

@@ -24,7 +24,7 @@
 
 use engine::{HwSpec, JobSpec, WorkloadSpec};
 use policies::PolicyDesc;
-use sim_core::Rng;
+use sim_core::{Rng, SimFidelity};
 use workloads::WorkloadMix;
 
 /// SplitMix64 finalizer: mixes the population seed with a device id
@@ -52,6 +52,12 @@ pub struct PopulationConfig {
     pub mix: WorkloadMix,
     /// Clock policy every device runs.
     pub policy: PolicyDesc,
+    /// Simulation fidelity for every device run. Fleet screening only
+    /// consumes scalar summaries, so the default is
+    /// [`SimFidelity::Summary`] — the kernel skips per-tick series
+    /// emission entirely. The fidelity is part of each device's job
+    /// key, so Summary and Full populations never share cache entries.
+    pub fidelity: SimFidelity,
 }
 
 impl PopulationConfig {
@@ -69,7 +75,14 @@ impl PopulationConfig {
             device_secs: 1,
             mix: WorkloadMix::default_fleet(),
             policy: PolicyDesc::best_from_paper(),
+            fidelity: SimFidelity::Summary,
         }
+    }
+
+    /// Overrides the per-device simulation fidelity.
+    pub fn with_fidelity(mut self, fidelity: SimFidelity) -> Self {
+        self.fidelity = fidelity;
+        self
     }
 
     /// The spec for one device — a pure function of the config and the
@@ -109,6 +122,7 @@ impl PopulationConfig {
             trace_seed,
         )
         .with_hw(hw)
+        .with_fidelity(self.fidelity)
     }
 
     /// The population as a lazy spec stream.
@@ -205,6 +219,26 @@ mod tests {
         assert_eq!(seeds.len(), 100, "trace seeds must all differ");
         assert_ne!(device_seed(0, 0), device_seed(0, 1));
         assert_ne!(device_seed(0, 0), device_seed(1, 0));
+    }
+
+    #[test]
+    fn fleet_defaults_to_summary_fidelity() {
+        let cfg = PopulationConfig::new(8, 9);
+        assert_eq!(cfg.fidelity, SimFidelity::Summary);
+        for spec in cfg.stream() {
+            assert_eq!(spec.fidelity, SimFidelity::Summary);
+            assert!(spec.canonical().starts_with("v4;"));
+        }
+        // Full-fidelity populations re-key every device under v3 but
+        // leave all other draws untouched.
+        let full = cfg.clone().with_fidelity(SimFidelity::Full);
+        for (s, f) in cfg.stream().zip(full.stream()) {
+            assert!(f.canonical().starts_with("v3;"));
+            assert_ne!(s.key(), f.key());
+            assert_eq!(s.hw, f.hw);
+            assert_eq!(s.seed, f.seed);
+            assert_eq!(s.workload, f.workload);
+        }
     }
 
     #[test]

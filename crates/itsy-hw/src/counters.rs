@@ -13,7 +13,7 @@
 //! `core_power` call would (the model's parameters are constant for the
 //! duration of a run).
 
-use sim_core::{Energy, Frequency, Power, SimDuration, Voltage};
+use sim_core::{Energy, Frequency, KahanSum, Power, SimDuration, Voltage};
 
 use crate::cpu::CpuMode;
 use crate::power::PowerModel;
@@ -44,6 +44,53 @@ impl RunTotals {
     /// Fresh zeroed totals.
     pub fn new() -> Self {
         RunTotals::default()
+    }
+}
+
+/// Compensated system + core-rail energy accumulator for summary runs.
+///
+/// The reference loop accumulates energy as one plain `+=` per segment,
+/// so its total carries O(n·ε) rounding. A summary run instead adds one
+/// closed-form `P·span` product per uniform span, and keeps both rails
+/// in Neumaier-compensated sums ([`KahanSum`]) so the final total is
+/// within 2ε of the correctly-rounded sum of its span terms regardless
+/// of run length. For a constant-power span the single product *is* the
+/// correctly-rounded span energy; the only divergence from the
+/// reference total is the reference's own accumulation error.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanEnergy {
+    energy: KahanSum,
+    core: KahanSum,
+}
+
+impl SpanEnergy {
+    /// Zeroed accumulator.
+    pub fn new() -> Self {
+        SpanEnergy::default()
+    }
+
+    /// Adds `span` at constant system power `p` / core power `core_p`.
+    #[inline]
+    pub fn add(&mut self, p: Power, core_p: Power, span: SimDuration) {
+        self.energy.add(p.over(span).as_joules());
+        self.core.add(core_p.over(span).as_joules());
+    }
+
+    /// Compensated system-energy total.
+    pub fn energy(&self) -> Energy {
+        Energy::from_joules(self.energy.value())
+    }
+
+    /// Compensated core-rail total.
+    pub fn core_energy(&self) -> Energy {
+        Energy::from_joules(self.core.value())
+    }
+
+    /// Writes both totals into `totals`, replacing whatever partial
+    /// sums it held (summary runs route *all* energy through `self`).
+    pub fn commit(&self, totals: &mut RunTotals) {
+        totals.energy = self.energy();
+        totals.core_energy = self.core_energy();
     }
 }
 
@@ -118,6 +165,66 @@ mod tests {
         let mut spanned = RunTotals::new();
         spanned.busy += SimDuration::from_micros(1_000 * q.as_micros());
         assert_eq!(tick_by_tick.busy, spanned.busy);
+    }
+
+    #[test]
+    fn span_energy_is_exact_for_constant_power_spans() {
+        // One closed-form product per span: for a constant-power run
+        // the committed total is the correctly-rounded P·T.
+        let p = Power::from_watts(0.33);
+        let core = Power::from_watts(0.21);
+        let span = SimDuration::from_millis(250);
+        let mut acc = SpanEnergy::new();
+        acc.add(p, core, span);
+        assert_eq!(acc.energy().as_joules(), p.over(span).as_joules());
+        assert_eq!(acc.core_energy().as_joules(), core.over(span).as_joules());
+    }
+
+    #[test]
+    fn span_energy_commit_replaces_totals() {
+        let mut acc = SpanEnergy::new();
+        acc.add(
+            Power::from_watts(1.0),
+            Power::from_watts(0.5),
+            SimDuration::from_secs(2),
+        );
+        let mut totals = RunTotals::new();
+        totals.energy += Energy::from_joules(123.0); // stale partial sum
+        acc.commit(&mut totals);
+        assert_eq!(totals.energy.as_joules(), 2.0);
+        assert_eq!(totals.core_energy.as_joules(), 1.0);
+    }
+
+    #[test]
+    fn span_energy_stays_within_2eps_of_exact_sum() {
+        // Many uneven spans: the compensated total must track the
+        // mathematically exact sum to within 2ε relative error, far
+        // tighter than naive accumulation guarantees at this length.
+        let mut acc = SpanEnergy::new();
+        let mut exact = 0.0f64; // accumulate in pairs to stay well-conditioned
+        let mut terms = Vec::new();
+        for i in 0..100_000u64 {
+            let w = 0.1 + (i % 17) as f64 * 0.013;
+            let us = 1 + (i % 29);
+            let p = Power::from_watts(w);
+            let d = SimDuration::from_micros(us);
+            acc.add(p, p, d);
+            terms.push(p.over(d).as_joules());
+        }
+        // Pairwise summation as the "exact" oracle (error O(log n · ε)).
+        fn pairwise(xs: &[f64]) -> f64 {
+            match xs.len() {
+                0 => 0.0,
+                1 => xs[0],
+                n => pairwise(&xs[..n / 2]) + pairwise(&xs[n / 2..]),
+            }
+        }
+        exact += pairwise(&terms);
+        let got = acc.energy().as_joules();
+        assert!(
+            (got - exact).abs() <= 4.0 * f64::EPSILON * exact.abs(),
+            "compensated sum drifted: got {got}, exact {exact}"
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod work;
 
 pub use battery::Battery;
 pub use clock::{ClockTable, StepIndex, V_HIGH, V_LOW};
-pub use counters::{CorePowerCache, RunTotals};
+pub use counters::{CorePowerCache, RunTotals, SpanEnergy};
 pub use cpu::{CpuCore, CpuMode};
 pub use gpio::Gpio;
 pub use memory::MemoryTiming;

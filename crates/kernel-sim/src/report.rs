@@ -1,6 +1,6 @@
 //! The output of a simulated run.
 
-use sim_core::{Energy, SimDuration, TimeSeries};
+use sim_core::{Energy, SimDuration, SimFidelity, TimeSeries};
 
 use itsy_hw::StepIndex;
 
@@ -61,12 +61,53 @@ pub struct KernelReport {
     pub battery_remaining: Option<f64>,
     /// Simulated wall-clock length of the run.
     pub elapsed: SimDuration,
+    /// Fidelity the run was executed at. Under [`SimFidelity::Summary`]
+    /// the four series above are empty and the closed-form accumulators
+    /// below carry the run's means instead.
+    pub fidelity: SimFidelity,
+    /// The scheduling quantum (denominator of the summary means).
+    pub quantum: SimDuration,
+    /// Completed quanta — how many utilization samples a Full-fidelity
+    /// run would have recorded.
+    pub ticks: u64,
+    /// Summary accumulator: busy µs inside completed quanta, each
+    /// clamped to the quantum. `util_sum_us / (ticks · quantum)` is the
+    /// exact mean utilization.
+    pub util_sum_us: u64,
+    /// Summary accumulator: sum of the per-tick clock samples in kHz,
+    /// including the t = 0 sample (`ticks + 1` terms in total).
+    pub freq_khz_sum: u64,
 }
 
 impl KernelReport {
     /// Mean utilization over the whole run.
+    ///
+    /// Full fidelity averages the recorded series (bit-identical to the
+    /// historical value); Summary computes the same quantity as an
+    /// exact integer ratio, so the two can differ in the last few ULPs
+    /// of the series' accumulation error.
     pub fn mean_utilization(&self) -> f64 {
-        self.utilization.mean().unwrap_or(0.0)
+        if self.fidelity.is_summary() {
+            if self.ticks == 0 {
+                return 0.0;
+            }
+            self.util_sum_us as f64 / (self.ticks * self.quantum.as_micros()) as f64
+        } else {
+            self.utilization.mean().unwrap_or(0.0)
+        }
+    }
+
+    /// Mean clock frequency over the run's tick samples, MHz.
+    ///
+    /// Full fidelity averages the `freq_mhz` series (one sample at
+    /// t = 0 plus one per tick); Summary divides the exact integer kHz
+    /// sum by the same sample count.
+    pub fn mean_freq_mhz(&self) -> f64 {
+        if self.fidelity.is_summary() {
+            (self.freq_khz_sum as f64 / (self.ticks + 1) as f64) / 1000.0
+        } else {
+            self.freq_mhz.mean().unwrap_or(0.0)
+        }
     }
 
     /// Average power over the run.

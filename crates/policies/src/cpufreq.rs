@@ -84,6 +84,13 @@ impl ClockPolicy for Ondemand {
         }
     }
 
+    fn is_memoryless(&self) -> bool {
+        // Pure in (load, current_step): no history, no counters, and
+        // the target is stable under repetition (a load that keeps the
+        // governor at `target` recomputes the same `target`).
+        true
+    }
+
     fn name(&self) -> String {
         format!("ondemand(up {:.0}%)", self.up_threshold * 100.0)
     }
@@ -135,6 +142,14 @@ impl ClockPolicy for Conservative {
             step: (target != current_step).then_some(target),
             voltage: None,
         }
+    }
+
+    fn is_memoryless(&self) -> bool {
+        // Stateless: each decision reads only (load, current_step).
+        // Creeping still works under span elision because the kernel
+        // only elides calls after a settled *no-op* decision — any
+        // step-up/down ends the span and re-enters the policy.
+        true
     }
 
     fn name(&self) -> String {
@@ -190,6 +205,25 @@ mod tests {
         // Clamped at the ends.
         assert_eq!(g.on_interval(SimTime::ZERO, 0.9, 10).step, None);
         assert_eq!(g.on_interval(SimTime::ZERO, 0.1, 0).step, None);
+    }
+
+    #[test]
+    fn governors_are_memoryless_with_unit_stride() {
+        // All three cpufreq governors are pure in (load, step): the
+        // batched kernel may elide repeated identical calls. None of
+        // them decimates observations.
+        let o = Ondemand::new(table());
+        let c = Conservative::new(table());
+        assert!(o.is_memoryless());
+        assert!(c.is_memoryless());
+        assert_eq!(o.observation_stride(), 1);
+        assert_eq!(c.observation_stride(), 1);
+        // Witness the idempotence claim directly.
+        let mut g = Ondemand::new(table());
+        let first = g.on_interval(SimTime::ZERO, 0.40, 10);
+        for _ in 0..5 {
+            assert_eq!(g.on_interval(SimTime::ZERO, 0.40, 10), first);
+        }
     }
 
     #[test]
@@ -252,6 +286,11 @@ impl ClockPolicy for Schedutil {
         }
     }
 
+    fn is_memoryless(&self) -> bool {
+        // Pure in (utilization, current_step); repetition is idempotent.
+        true
+    }
+
     fn name(&self) -> String {
         format!("schedutil(headroom {:.2})", self.headroom)
     }
@@ -281,6 +320,13 @@ mod schedutil_tests {
         // 132.7 MHz at 75% busy: needed = 1.25*99.5 = 124.4 -> 132.7.
         let req = g.on_interval(SimTime::ZERO, 0.75, 5);
         assert_eq!(req.step, None);
+    }
+
+    #[test]
+    fn schedutil_is_memoryless() {
+        let g = Schedutil::new(ClockTable::sa1100());
+        assert!(g.is_memoryless());
+        assert_eq!(g.observation_stride(), 1);
     }
 
     #[test]

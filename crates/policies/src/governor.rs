@@ -124,6 +124,24 @@ pub trait ClockPolicy {
         false
     }
 
+    /// Observation decimation factor for summary-fidelity spans.
+    ///
+    /// A policy returning `k > 1` asserts that, across a run of
+    /// consecutive intervals with identical utilization, its decisions
+    /// and internal state depend only on every k-th
+    /// [`ClockPolicy::on_interval`] call — and that it derives any
+    /// sampling phase from the `now` argument, never from an internal
+    /// call counter (summary runs deliver only the ticks whose global
+    /// index is a multiple of `k` inside uniform spans, so a counter
+    /// would slip). The default of `1` means every tick is delivered,
+    /// which is always safe. All shipped policies use 1: PAST, AVG_N
+    /// and the sliding-window predictors fold every interval into their
+    /// state. The hook exists for externally-defined coarse policies
+    /// (e.g. one that re-evaluates once per N quanta by timestamp).
+    fn observation_stride(&self) -> u64 {
+        1
+    }
+
     /// Name used in reports.
     fn name(&self) -> String;
 }
@@ -431,6 +449,24 @@ mod tests {
         );
         let req = p.on_interval(SimTime::ZERO, 0.5, 3);
         assert_eq!(req.step, Some(5));
+    }
+
+    #[test]
+    fn stride_defaults_to_every_tick() {
+        // Predictor-backed schedulers consume every interval; the
+        // default stride of 1 must hold for both memoryless (PAST) and
+        // stateful (AVG_N) compositions.
+        assert_eq!(best().observation_stride(), 1);
+        let avg = IntervalScheduler::new(
+            Box::new(AvgN::new(3)),
+            Hysteresis::PERING,
+            SpeedChange::One,
+            SpeedChange::One,
+            ClockTable::sa1100(),
+        );
+        assert_eq!(avg.observation_stride(), 1);
+        assert!(!avg.is_memoryless());
+        assert_eq!(ConstantPolicy::new(5, V_HIGH).observation_stride(), 1);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! bit-identical results; wall-clock time never enters the simulation.
 
 pub mod event;
+pub mod fidelity;
 pub mod histogram;
 pub mod log_histogram;
 pub mod quantity;
@@ -28,11 +29,12 @@ pub mod stats;
 pub mod time;
 
 pub use event::{EventQueue, ScheduledEvent};
+pub use fidelity::SimFidelity;
 pub use histogram::Histogram;
 pub use log_histogram::LogHistogram;
 pub use quantity::{Energy, Frequency, Power, Voltage};
 pub use rng::Rng;
 pub use series::TimeSeries;
 pub use sketch::FleetSummary;
-pub use stats::{mean, rate_per_sec, student_t_975, ConfidenceInterval, RunStats};
+pub use stats::{mean, rate_per_sec, student_t_975, ConfidenceInterval, KahanSum, RunStats};
 pub use time::{SimDuration, SimTime};

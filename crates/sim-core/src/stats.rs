@@ -21,6 +21,45 @@ pub fn rate_per_sec(count: u64, elapsed_us: u64) -> f64 {
     count as f64 / (elapsed_us as f64 / 1e6)
 }
 
+/// Compensated (Neumaier-variant Kahan) floating-point accumulator.
+///
+/// Summing n doubles naively accrues O(n·ε) relative error; the
+/// Neumaier update keeps a running compensation term so the final
+/// [`KahanSum::value`] is within 2ε of the correctly-rounded sum
+/// independent of n — and, unlike classic Kahan, stays correct when an
+/// addend is larger than the running sum. Summary-fidelity runs use
+/// this for span energy, where a single `p.over(span)` product per span
+/// replaces the reference loop's per-tick adds and must not drift from
+/// it by more than the documented bound (DESIGN.md §9).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// Empty accumulator (value `0.0`).
+    pub fn new() -> Self {
+        KahanSum::default()
+    }
+
+    /// Adds one term, updating the compensation (Neumaier 1974).
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
 /// Arithmetic mean of a sample.
 ///
 /// Returns `None` for an empty slice.
@@ -156,6 +195,45 @@ impl RunStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kahan_beats_naive_on_adversarial_sums() {
+        // 1.0 followed by 1e16 copies of tiny would lose every tiny in
+        // naive f64; use a bounded version that still shows the gap.
+        let tiny = 1e-16;
+        let n = 10_000_000u64;
+        let mut k = KahanSum::new();
+        let mut naive = 0.0f64;
+        k.add(1.0);
+        naive += 1.0;
+        for _ in 0..n {
+            k.add(tiny);
+            naive += tiny;
+        }
+        let exact = 1.0 + n as f64 * tiny;
+        assert!((k.value() - exact).abs() <= 2.0 * f64::EPSILON * exact.abs());
+        assert!((k.value() - exact).abs() <= (naive - exact).abs());
+    }
+
+    #[test]
+    fn kahan_handles_large_addend_after_small_sum() {
+        // The Neumaier variant's reason to exist: classic Kahan loses
+        // the small running sum when a dominating term arrives.
+        let mut k = KahanSum::new();
+        k.add(1.0);
+        k.add(1e100);
+        k.add(1.0);
+        k.add(-1e100);
+        assert_eq!(k.value(), 2.0);
+    }
+
+    #[test]
+    fn kahan_single_term_is_exact() {
+        let mut k = KahanSum::new();
+        k.add(3.5);
+        assert_eq!(k.value(), 3.5);
+        assert_eq!(KahanSum::new().value(), 0.0);
+    }
 
     #[test]
     fn rate_handles_zero_elapsed_and_scales() {

@@ -1,8 +1,10 @@
 //! Hot-loop timing: where one short simulation's wall time goes.
 //!
 //! Times `Kernel::run` under several configurations, the engine's
-//! `JobSpec::execute` (the `repro bench` hot loop), and the tick-by-tick
-//! reference kernel the batched fast path is proven against.
+//! `JobSpec::execute` (the `repro bench` hot loop), the tick-by-tick
+//! reference kernel the batched fast path is proven against, and the
+//! summary-fidelity mode that skips per-tick emission (O(1) per
+//! uniform span when the policy is memoryless or absent).
 //!
 //! ```sh
 //! cargo run --release --example hotloop
@@ -14,30 +16,39 @@ use itsy_hw::{DeviceSet, Work};
 use kernel_sim::task::FnBehavior;
 use kernel_sim::{Kernel, KernelConfig, Machine, TaskAction};
 use policies::IntervalScheduler;
-use sim_core::SimDuration;
+use sim_core::{SimDuration, SimFidelity};
 use workloads::{Benchmark, MpegConfig, MpegWorkload};
 
-fn time_case(label: &str, mpeg: bool, policy: bool, reference: bool) {
+fn time_case(label: &str, workload: &str, policy: bool, reference: bool, fidelity: SimFidelity) {
     let secs = 2u64;
     let iters = 500u32;
     let build = || {
-        let devices = if mpeg { DeviceSet::AV } else { DeviceSet::NONE };
+        let devices = if workload == "mpeg" {
+            DeviceSet::AV
+        } else {
+            DeviceSet::NONE
+        };
         let mut k = Kernel::new(
             Machine::itsy(10, devices),
             KernelConfig {
                 duration: SimDuration::from_secs(secs),
                 reference,
+                fidelity,
                 ..KernelConfig::default()
             },
         );
-        if mpeg {
-            for t in MpegWorkload::new(MpegConfig::default(), 1).into_tasks() {
-                k.spawn(t);
+        match workload {
+            "mpeg" => {
+                for t in MpegWorkload::new(MpegConfig::default(), 1).into_tasks() {
+                    k.spawn(t);
+                }
             }
-        } else {
-            k.spawn(Box::new(FnBehavior::new("busy", |_ctx| {
-                TaskAction::Compute(Work::cycles(1.0e9))
-            })));
+            "busy" => {
+                k.spawn(Box::new(FnBehavior::new("busy", |_ctx| {
+                    TaskAction::Compute(Work::cycles(1.0e9))
+                })));
+            }
+            _ => {} // idle: no tasks at all
         }
         if policy {
             k.install_policy(Box::new(IntervalScheduler::best_from_paper(
@@ -56,7 +67,7 @@ fn time_case(label: &str, mpeg: bool, policy: bool, reference: bool) {
     let us = t.elapsed().as_micros() as f64;
     let ticks = iters as f64 * secs as f64 * 100.0;
     println!(
-        "{label:32} {:8.0} sims/s  {:6.1} ns/tick",
+        "{label:36} {:8.0} sims/s  {:6.1} ns/tick",
         iters as f64 * 1e6 / us,
         us * 1000.0 / ticks
     );
@@ -73,19 +84,33 @@ fn time_exec(label: &str, f: &mut dyn FnMut()) {
     }
     let us = t.elapsed().as_micros() as f64;
     println!(
-        "{label:32} {:8.0} sims/s  {:6.1} us/sim",
+        "{label:36} {:8.0} sims/s  {:6.1} us/sim",
         iters as f64 * 1e6 / us,
         us / iters as f64
     );
 }
 
 fn main() {
-    time_case("mpeg + policy (batched)", true, true, false);
-    time_case("mpeg + policy (reference)", true, true, true);
-    time_case("mpeg, no policy (batched)", true, false, false);
-    time_case("busy + policy (batched)", false, true, false);
-    time_case("busy + policy (reference)", false, true, true);
-    time_case("busy, no policy (batched)", false, false, false);
+    use SimFidelity::{Full, Summary};
+    time_case("mpeg + policy (batched)", "mpeg", true, false, Full);
+    time_case("mpeg + policy (reference)", "mpeg", true, true, Full);
+    time_case("mpeg + policy (summary)", "mpeg", true, false, Summary);
+    time_case("mpeg, no policy (batched)", "mpeg", false, false, Full);
+    time_case("mpeg, no policy (summary)", "mpeg", false, false, Summary);
+    time_case("busy + policy (batched)", "busy", true, false, Full);
+    time_case("busy + policy (reference)", "busy", true, true, Full);
+    time_case("busy + policy (summary)", "busy", true, false, Summary);
+    time_case("busy, no policy (batched)", "busy", false, false, Full);
+    time_case("busy, no policy (summary)", "busy", false, false, Summary);
+    time_case("idle, no policy (batched)", "idle", false, false, Full);
+    time_case("idle, no policy (reference)", "idle", false, true, Full);
+    time_case(
+        "idle, no policy (summary, O(1))",
+        "idle",
+        false,
+        false,
+        Summary,
+    );
 
     let spec = engine::JobSpec::new(
         engine::WorkloadSpec::Benchmark(Benchmark::Mpeg),
@@ -93,10 +118,14 @@ fn main() {
         2,
         1,
     );
+    let summary_spec = spec.clone().with_fidelity(SimFidelity::Summary);
     time_exec("JobSpec::execute (bench hot)", &mut || {
         std::hint::black_box(spec.execute());
     });
     time_exec("JobSpec::execute_reference", &mut || {
         std::hint::black_box(spec.execute_reference());
+    });
+    time_exec("JobSpec::execute (summary)", &mut || {
+        std::hint::black_box(summary_spec.execute());
     });
 }

@@ -19,22 +19,29 @@
 //! - randomized task soups (proptest) mixing compute, sleep, spin and
 //!   exit with random power-model constants.
 //!
+//! A second section holds [`SimFidelity::Summary`] runs to the same
+//! standard: bit-identical integer observables against both the summary
+//! reference loop and Full fidelity, exact policy observation streams,
+//! and per-span compensated energy bounds.
+//!
 //! "Bit-identical" is literal: every `f64` is compared by `to_bits`,
 //! every series point by point, every log record field by field, and
 //! the engine-level summaries by their canonical byte encoding.
 
+use std::cell::RefCell;
 use std::fmt::Write as _;
+use std::rc::Rc;
 
 use itsy_dvs::apps::Benchmark;
 use itsy_dvs::dvs::{
-    Hysteresis, PolicyDesc, PolicyRequest, PredictorDesc, SpeedChange, VoltageRule,
+    ClockPolicy, Hysteresis, PolicyDesc, PolicyRequest, PredictorDesc, SpeedChange, VoltageRule,
 };
-use itsy_dvs::engine::{HwSpec, JobSpec, WorkloadSpec};
+use itsy_dvs::engine::{HwSpec, JobResult, JobSpec, WorkloadSpec};
 use itsy_dvs::hw::battery::BatteryParams;
-use itsy_dvs::hw::{Battery, ClockTable, DeviceSet, PowerModel, PowerParams, Work};
+use itsy_dvs::hw::{Battery, ClockTable, DeviceSet, PowerModel, PowerParams, StepIndex, Work};
 use itsy_dvs::kernel::task::FnBehavior;
 use itsy_dvs::kernel::{Kernel, KernelConfig, KernelReport, Machine, TaskAction};
-use itsy_dvs::sim::{Rng, SimDuration};
+use itsy_dvs::sim::{Rng, SimDuration, SimFidelity, SimTime};
 use proptest::prelude::*;
 
 /// Serializes every observable field of a report, with all floats
@@ -519,6 +526,328 @@ fn traced_runs_agree_with_both_paths() {
     assert_eq!(traced.encode(), spec.execute().encode());
     assert_eq!(traced.encode(), spec.execute_reference().encode());
     assert!(!trace.events().is_empty(), "tracing must capture events");
+}
+
+// ---------------------------------------------------------------------
+// Summary fidelity: the O(events) span-skipping mode must preserve every
+// integer-valued observable bit-for-bit against both its own reference
+// loop and a Full-fidelity run, and bound the only quantity it computes
+// differently (energy: one compensated term per span instead of one
+// term per segment).
+// ---------------------------------------------------------------------
+
+/// Serializes the state every fidelity must agree on exactly: time
+/// accounting, machine transitions, per-task CPU, deadline outcomes and
+/// the battery trajectory (whose per-quantum drain order is identical
+/// in all paths, hence compared by bits). Excludes the series and the
+/// sched log (Summary never records them) and energy (Summary commits
+/// one compensated term per span, so it differs in the last ulps).
+fn integer_fingerprint(r: &KernelReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "busy={} idle={} stalled={} spun={} elapsed={}",
+        r.busy.as_micros(),
+        r.idle.as_micros(),
+        r.stalled.as_micros(),
+        r.spun.as_micros(),
+        r.elapsed.as_micros()
+    );
+    let _ = writeln!(
+        s,
+        "switches={}/{} final={}",
+        r.clock_switches, r.voltage_switches, r.final_step
+    );
+    for (pid, label, cpu) in &r.per_task_cpu {
+        let _ = writeln!(s, "task {} {} {}", pid, label, cpu.as_micros());
+    }
+    for d in r.deadlines.records() {
+        let _ = writeln!(s, "dl {} {} {}", d.label, d.due_us, d.completed_us);
+    }
+    let _ = writeln!(s, "battery={:?}", r.battery_remaining.map(|b| b.to_bits()));
+    s
+}
+
+/// The Summary-only closed-form accumulators; both summary loops must
+/// produce them exactly (Full runs leave them zeroed).
+fn summary_extras(r: &KernelReport) -> String {
+    format!(
+        "ticks={} util_sum_us={} freq_khz_sum={}",
+        r.ticks, r.util_sum_us, r.freq_khz_sum
+    )
+}
+
+/// Relative difference with a denominator floor, for energy bounds.
+fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(f64::MIN_POSITIVE)
+}
+
+/// Engine-level sweep: for every workload x policy, a Summary run on
+/// the batched path must match the Summary reference loop on every
+/// field except the span-granular energies (bounded at 1e-12 relative),
+/// and match a Full run on all integer-derived fields with energy
+/// within the documented 1e-9 bound.
+#[test]
+fn summary_policy_matrix_matches_reference_and_full() {
+    for workload in workload_matrix() {
+        for policy in policy_matrix() {
+            let spec = JobSpec::new(workload, policy, 2, 1);
+            let summary = spec.clone().with_fidelity(SimFidelity::Summary);
+            let label = summary.label();
+            let s_fast = summary.execute();
+            let s_ref = summary.execute_reference();
+            assert!(
+                rel_diff(s_fast.energy_j, s_ref.energy_j) < 1e-12
+                    && rel_diff(s_fast.core_energy_j, s_ref.core_energy_j) < 1e-12,
+                "summary span energy drifted past the compensated bound: {label}"
+            );
+            let full = spec.execute();
+            // Mask the energies (compared above) and hold everything
+            // else to byte equality via the canonical encoding.
+            let masked_fast = JobResult {
+                energy_j: 0.0,
+                core_energy_j: 0.0,
+                ..s_fast
+            };
+            let masked_ref = JobResult {
+                energy_j: 0.0,
+                core_energy_j: 0.0,
+                ..s_ref
+            };
+            assert_eq!(
+                masked_fast.encode(),
+                masked_ref.encode(),
+                "summary batched diverged from summary reference: {label}"
+            );
+            // Cross-fidelity: every integer observable is exact.
+            assert_eq!(masked_fast.misses, full.misses, "{label}");
+            assert_eq!(masked_fast.max_lateness_us, full.max_lateness_us, "{label}");
+            assert_eq!(masked_fast.clock_switches, full.clock_switches, "{label}");
+            assert_eq!(
+                masked_fast.voltage_switches, full.voltage_switches,
+                "{label}"
+            );
+            assert_eq!(masked_fast.final_step, full.final_step, "{label}");
+            assert_eq!(masked_fast.frames_shown, full.frames_shown, "{label}");
+            assert_eq!(masked_fast.frames_dropped, full.frames_dropped, "{label}");
+            assert_eq!(
+                masked_fast.battery_remaining.to_bits(),
+                full.battery_remaining.to_bits(),
+                "battery drain order must not depend on fidelity: {label}"
+            );
+            assert_eq!(masked_fast.sched_dropped, 0, "{label}");
+            assert!(
+                rel_diff(s_fast.energy_j, full.energy_j) < 1e-9
+                    && rel_diff(s_fast.core_energy_j, full.core_energy_j) < 1e-9,
+                "summary energy drifted from full fidelity: {label} \
+                 ({} vs {})",
+                s_fast.energy_j,
+                full.energy_j
+            );
+            assert!(
+                (masked_fast.mean_utilization - full.mean_utilization).abs() < 1e-9,
+                "{label}"
+            );
+            assert!(
+                (masked_fast.mean_freq_mhz - full.mean_freq_mhz).abs() < 1e-6,
+                "{label}"
+            );
+        }
+    }
+}
+
+/// One recorded policy call: the arguments as delivered (utilization by
+/// bits) and the request returned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Call {
+    at_us: u64,
+    util_bits: u64,
+    step: StepIndex,
+    req: PolicyRequest,
+}
+
+/// Wraps a policy and logs every `on_interval` delivery. Forwards the
+/// memoryless/stride contract so the kernel treats the wrapper exactly
+/// like the inner policy.
+struct Recording {
+    inner: Box<dyn ClockPolicy>,
+    log: Rc<RefCell<Vec<Call>>>,
+}
+
+impl ClockPolicy for Recording {
+    fn on_interval(
+        &mut self,
+        now: SimTime,
+        utilization: f64,
+        current_step: StepIndex,
+    ) -> PolicyRequest {
+        let req = self.inner.on_interval(now, utilization, current_step);
+        self.log.borrow_mut().push(Call {
+            at_us: now.as_micros(),
+            util_bits: utilization.to_bits(),
+            step: current_step,
+            req,
+        });
+        req
+    }
+
+    fn is_memoryless(&self) -> bool {
+        self.inner.is_memoryless()
+    }
+
+    fn observation_stride(&self) -> u64 {
+        self.inner.observation_stride()
+    }
+
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+}
+
+/// True when `sub` appears, in order, within `all`.
+fn is_subsequence(sub: &[Call], all: &[Call]) -> bool {
+    let mut it = all.iter();
+    sub.iter().all(|c| it.any(|a| a == c))
+}
+
+/// The observation contract behind summary skipping: a stateful policy
+/// sees the *exact* tick stream the Full reference loop delivers (same
+/// times, same utilizations, same answers), while a memoryless policy's
+/// deliveries are an in-order subsequence of it (settled no-op calls
+/// are elided, never altered or invented) — and either way the machine
+/// ends in the same state.
+#[test]
+fn summary_policies_observe_the_reference_tick_stream() {
+    for policy in policy_matrix() {
+        let run = |fidelity: SimFidelity, reference: bool| {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut k = Kernel::new(
+                Machine::itsy(10, DeviceSet::AV),
+                KernelConfig {
+                    duration: SimDuration::from_secs(3),
+                    reference,
+                    fidelity,
+                    ..KernelConfig::default()
+                },
+            );
+            Benchmark::Mpeg.spawn_into(&mut k, 5);
+            k.install_policy(Box::new(Recording {
+                inner: policy.build(ClockTable::sa1100()),
+                log: Rc::clone(&log),
+            }));
+            let report = k.run();
+            let calls = Rc::try_unwrap(log).expect("kernel dropped").into_inner();
+            (calls, report)
+        };
+        let (full_calls, full_report) = run(SimFidelity::Full, true);
+        let (sum_calls, sum_report) = run(SimFidelity::Summary, false);
+        let name = policy.label();
+        assert_eq!(
+            integer_fingerprint(&full_report),
+            integer_fingerprint(&sum_report),
+            "machine outcome diverged across fidelities: {name}"
+        );
+        assert!(
+            !full_calls.is_empty(),
+            "{name}: reference delivered no ticks"
+        );
+        if policy.build(ClockTable::sa1100()).is_memoryless() {
+            assert!(!sum_calls.is_empty(), "{name}: summary elided every call");
+            assert!(
+                is_subsequence(&sum_calls, &full_calls),
+                "{name}: summary delivered a call the reference never made"
+            );
+        } else {
+            assert_eq!(
+                sum_calls, full_calls,
+                "{name}: stateful policies must observe every tick"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Random task soups across fidelities, with a battery (and
+    /// mid-span cut-off) on even seeds: both summary loops agree
+    /// exactly with each other and with Full on every integer
+    /// observable; summary emits nothing per-tick; energy stays inside
+    /// the per-span compensation bounds.
+    #[test]
+    fn random_soups_match_across_fidelities(
+        seed in 0u64..u64::MAX,
+        tasks in 1u64..4,
+        policy_idx in 0usize..13,
+    ) {
+        let policy = policy_matrix().swap_remove(policy_idx);
+        let with_battery = seed % 2 == 0;
+        let build = |fidelity: SimFidelity, reference: bool| {
+            let mut machine = Machine::itsy(10, DeviceSet::NONE);
+            if with_battery {
+                machine = machine.with_battery(Battery::with_charge_fraction(
+                    BatteryParams {
+                        nominal_wh: 2.3e-4,
+                        ..BatteryParams::default()
+                    },
+                    1.0,
+                ));
+            }
+            let mut k = Kernel::new(
+                machine,
+                KernelConfig {
+                    duration: SimDuration::from_secs(2),
+                    stop_when_battery_empty: with_battery,
+                    reference,
+                    fidelity,
+                    ..KernelConfig::default()
+                },
+            );
+            spawn_random_soup(&mut k, seed, tasks);
+            k.install_policy(policy.build(ClockTable::sa1100()));
+            k.run()
+        };
+        let s_fast = build(SimFidelity::Summary, false);
+        let s_ref = build(SimFidelity::Summary, true);
+        let full = build(SimFidelity::Full, false);
+        prop_assert_eq!(
+            integer_fingerprint(&s_fast),
+            integer_fingerprint(&s_ref),
+            "summary batched vs summary reference"
+        );
+        prop_assert_eq!(
+            integer_fingerprint(&s_fast),
+            integer_fingerprint(&full),
+            "summary vs full fidelity"
+        );
+        prop_assert_eq!(
+            summary_extras(&s_fast),
+            summary_extras(&s_ref),
+            "closed-form accumulators"
+        );
+        for r in [&s_fast, &s_ref] {
+            prop_assert!(
+                r.utilization.is_empty()
+                    && r.freq_mhz.is_empty()
+                    && r.work_fraction.is_empty()
+                    && r.power_w.is_empty(),
+                "summary runs must not record series"
+            );
+            prop_assert_eq!(r.sched_log.records().len(), 0, "summary sched log");
+        }
+        prop_assert!(
+            rel_diff(s_fast.energy.as_joules(), s_ref.energy.as_joules()) < 1e-12,
+            "span energy: {} vs {}",
+            s_fast.energy.as_joules(),
+            s_ref.energy.as_joules()
+        );
+        prop_assert!(
+            rel_diff(s_fast.energy.as_joules(), full.energy.as_joules()) < 1e-9
+                && rel_diff(s_fast.core_energy.as_joules(), full.core_energy.as_joules())
+                    < 1e-9,
+            "cross-fidelity energy: {} vs {}",
+            s_fast.energy.as_joules(),
+            full.energy.as_joules()
+        );
+    }
 }
 
 // Referenced to keep the facade import honest; the matrix builds
