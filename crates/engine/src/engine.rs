@@ -73,6 +73,13 @@ pub struct EngineConfig {
     /// `<state_root>/<batch>/`. Off by default (hermetic tests leave no
     /// files behind); the `repro` binary turns it on.
     pub write_metrics: bool,
+    /// Number of sim-time windows each streamed job's trajectory is
+    /// folded into (see [`kernel_sim::KernelConfig::timeline_windows`]).
+    /// `0` (the default) disables the timeline; `repro fleet` turns it
+    /// on to produce `fleet_timeline.csv`. Only `run_stream` consumes
+    /// it — the batch path's cached results must stay
+    /// timeline-independent.
+    pub timeline_windows: u32,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +93,7 @@ impl Default for EngineConfig {
             max_retries: 2,
             faults: None,
             write_metrics: false,
+            timeline_windows: 0,
         }
     }
 }
@@ -103,6 +111,7 @@ impl EngineConfig {
             max_retries: 2,
             faults: None,
             write_metrics: false,
+            timeline_windows: 0,
         }
     }
 
@@ -296,6 +305,30 @@ impl Engine {
     /// only the failed cells.
     pub fn run_batch(&self, batch: &str, specs: &[JobSpec]) -> BatchOutcome {
         let started = Instant::now();
+        // Live-telemetry handles (no-ops unless `--metrics-addr` armed
+        // the registry). Shared with `run_stream` where the meaning
+        // lines up: a batch cell is a job.
+        let m_cells = obs::registry::counter(
+            "engine_cells_total",
+            "Batch cells requested, cached or simulated.",
+        );
+        let m_cache_hits = obs::registry::counter(
+            "engine_cache_hits_total",
+            "Batch cells served from the result cache.",
+        );
+        let m_jobs = obs::registry::counter(
+            "engine_jobs_executed_total",
+            "Jobs completed across all workers.",
+        );
+        let m_failed = obs::registry::counter(
+            "engine_jobs_failed_total",
+            "Jobs that exhausted their retry budget.",
+        );
+        let m_retries = obs::registry::counter(
+            "engine_job_retries_total",
+            "Job attempts retried after a panic.",
+        );
+        m_cells.add(specs.len() as u64);
         let root = self.state_root();
         let faults = FaultInjector::new(self.config.faults);
         let cache = self
@@ -335,6 +368,7 @@ impl Engine {
                     match c.probe(spec, &faults) {
                         CacheProbe::Hit(r) => {
                             cache_hits += 1;
+                            m_cache_hits.inc();
                             collector_wm.observe_log(
                                 "cache_hit_service_us",
                                 probe_started.elapsed().as_secs_f64() * 1e6,
@@ -424,8 +458,10 @@ impl Engine {
                                         }
                                     }
                                     slots[i] = Some(Ok(result));
+                                    m_jobs.inc();
                                 }
                                 Err(message) => {
+                                    m_failed.inc();
                                     let failure = JobFailure {
                                         index: i,
                                         key: spec.key(),
@@ -497,6 +533,7 @@ impl Engine {
                                             }
                                             Err(_) => {
                                                 wm.inc("retries");
+                                                m_retries.inc();
                                                 obs::debug!(
                                                     "engine: job_retry key={key} \
                                                      attempt={attempt}"

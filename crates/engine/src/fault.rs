@@ -18,12 +18,17 @@
 //! | `write_err` | cache entry write   | the write fails with an I/O error   |
 //! | `torn`      | journal append      | only a prefix of the record lands   |
 //! | `panic`     | job execution       | the worker panics mid-job           |
+//! | `stall`     | job execution       | the worker sleeps `stall_ms` mid-job|
+//!
+//! `stall` is the odd one out: it injects *wall-clock* latency only, so
+//! every deterministic artifact is unchanged — its purpose is to give
+//! the heartbeat watchdog (`obs::watchdog`) a live failure to detect.
 //!
 //! The textual form (`FaultPlan::parse` / `Display`) is what the
 //! `repro` binary accepts via `--fault-plan`:
 //!
 //! ```text
-//! seed=7,read_err=0.15,corrupt=0.25,truncate=0.15,write_err=0.15,torn=0.25,panic=0.25,max_panics=2
+//! seed=7,read_err=0.15,corrupt=0.25,truncate=0.15,write_err=0.15,torn=0.25,panic=0.25,max_panics=2,stall=0,stall_ms=100
 //! ```
 
 use std::collections::HashMap;
@@ -53,6 +58,11 @@ pub struct FaultPlan {
     /// Panics are only injected into a job's first `max_panics`
     /// attempts, so any job completes within `max_panics` retries.
     pub max_panics: u32,
+    /// P(a job execution attempt stalls for `stall_ms` of wall clock
+    /// before running). Wall-clock only — results are unchanged.
+    pub stall: f64,
+    /// How long an injected stall sleeps, milliseconds.
+    pub stall_ms: u64,
 }
 
 impl Default for FaultPlan {
@@ -66,6 +76,8 @@ impl Default for FaultPlan {
             torn: 0.0,
             panic: 0.0,
             max_panics: 2,
+            stall: 0.0,
+            stall_ms: 100,
         }
     }
 }
@@ -83,6 +95,8 @@ impl FaultPlan {
             torn: 0.25,
             panic: 0.25,
             max_panics: 2,
+            stall: 0.0,
+            stall_ms: 100,
         }
     }
 
@@ -94,6 +108,7 @@ impl FaultPlan {
             && self.write_err <= 0.0
             && self.torn <= 0.0
             && self.panic <= 0.0
+            && self.stall <= 0.0
     }
 
     /// Parses the `key=value,key=value` form produced by `Display`.
@@ -123,10 +138,12 @@ impl FaultPlan {
                 "max_panics" => {
                     plan.max_panics = v.parse().map_err(|e| format!("`{k}={v}`: {e}"))?
                 }
+                "stall" => plan.stall = prob(v)?,
+                "stall_ms" => plan.stall_ms = v.parse().map_err(|e| format!("`{k}={v}`: {e}"))?,
                 other => {
                     return Err(format!(
                         "unknown fault key `{other}` (known: seed, read_err, corrupt, \
-                         truncate, write_err, torn, panic, max_panics)"
+                         truncate, write_err, torn, panic, max_panics, stall, stall_ms)"
                     ))
                 }
             }
@@ -139,7 +156,7 @@ impl fmt::Display for FaultPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "seed={},read_err={},corrupt={},truncate={},write_err={},torn={},panic={},max_panics={}",
+            "seed={},read_err={},corrupt={},truncate={},write_err={},torn={},panic={},max_panics={},stall={},stall_ms={}",
             self.seed,
             self.read_err,
             self.corrupt,
@@ -148,6 +165,8 @@ impl fmt::Display for FaultPlan {
             self.torn,
             self.panic,
             self.max_panics,
+            self.stall,
+            self.stall_ms,
         )
     }
 }
@@ -167,6 +186,8 @@ pub struct FaultStats {
     pub torn_writes: u64,
     /// Job execution attempts panicked.
     pub panics: u64,
+    /// Job execution attempts stalled (wall-clock sleep).
+    pub stalls: u64,
 }
 
 impl FaultStats {
@@ -178,6 +199,7 @@ impl FaultStats {
             + self.write_errors
             + self.torn_writes
             + self.panics
+            + self.stalls
     }
 }
 
@@ -191,6 +213,7 @@ enum Site {
     WriteErr = 4,
     Torn = 5,
     Panic = 6,
+    Stall = 7,
 }
 
 /// The per-batch decision maker built from a [`FaultPlan`].
@@ -360,6 +383,23 @@ impl FaultInjector {
         }
         fired
     }
+
+    /// Execution site: how long this job's execution should stall
+    /// (wall-clock sleep before the work runs), if at all. Purely a
+    /// latency fault — the job's result is untouched — so it is the
+    /// one site that feeds the watchdog rather than the retry path.
+    pub fn worker_stall(&self, key: ContentKey) -> Option<std::time::Duration> {
+        if self.inert {
+            return None;
+        }
+        let n = self.bump(Site::Stall, key);
+        if self.fires(Site::Stall, key, n, self.plan.stall) {
+            self.count(|s| s.stalls += 1);
+            Some(std::time::Duration::from_millis(self.plan.stall_ms))
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -442,7 +482,32 @@ mod tests {
         assert!(inj.cache_write_error(key).is_none());
         assert!(inj.journal_tear(key, 100).is_none());
         assert!(!inj.worker_panic(key, 1));
+        assert!(inj.worker_stall(key).is_none());
         assert_eq!(inj.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn stall_site_fires_with_the_planned_duration() {
+        let inj = FaultInjector::new(Some(FaultPlan {
+            stall: 1.0,
+            stall_ms: 7,
+            ..FaultPlan::default()
+        }));
+        let key = ContentKey::of("job");
+        assert_eq!(
+            inj.worker_stall(key),
+            Some(std::time::Duration::from_millis(7))
+        );
+        assert_eq!(inj.stats().stalls, 1);
+        assert_eq!(inj.stats().total(), 1);
+
+        let never = FaultInjector::new(Some(FaultPlan {
+            stall: 0.0,
+            panic: 1.0, // plan is active, stall site still silent
+            ..FaultPlan::default()
+        }));
+        assert!(never.worker_stall(key).is_none());
+        assert_eq!(never.stats().stalls, 0);
     }
 
     #[test]

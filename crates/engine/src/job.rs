@@ -10,7 +10,7 @@
 use itsy_hw::{
     battery::BatteryParams, Battery, ClockTable, DeviceSet, PowerModel, PowerParams, StepIndex,
 };
-use kernel_sim::{Kernel, KernelConfig, Machine, SimScratch};
+use kernel_sim::{Kernel, KernelConfig, Machine, SimScratch, WindowSample};
 use policies::PolicyDesc;
 use sim_core::{SimDuration, SimFidelity};
 use workloads::{
@@ -18,6 +18,15 @@ use workloads::{
 };
 
 use crate::key::ContentKey;
+
+thread_local! {
+    /// Per-thread [`SimScratch`] arena shared by every job a worker
+    /// thread executes (plain and timeline paths alike), so series
+    /// allocations are reused across jobs instead of paying heap
+    /// traffic per cell.
+    static SCRATCH: std::cell::RefCell<SimScratch> =
+        std::cell::RefCell::new(SimScratch::new());
+}
 
 /// Which tasks to spawn into the kernel.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -280,11 +289,19 @@ impl JobSpec {
     /// thread) reuse series allocations across jobs instead of paying
     /// heap traffic per cell.
     pub fn execute(&self) -> JobResult {
-        thread_local! {
-            static SCRATCH: std::cell::RefCell<SimScratch> =
-                std::cell::RefCell::new(SimScratch::new());
-        }
-        SCRATCH.with(|s| self.simulate(false, false, &mut s.borrow_mut()).0)
+        SCRATCH.with(|s| self.simulate(false, false, 0, &mut s.borrow_mut()).0)
+    }
+
+    /// Like [`JobSpec::execute`], but also folds the run into
+    /// `windows` equal sim-time windows: per-window energy, busy time
+    /// and deadline misses (judged against this spec's tolerance). The
+    /// [`JobResult`] is bit-identical to `execute()`'s — the timeline
+    /// is derived observation, never an input to the simulation.
+    pub fn execute_timeline(&self, windows: u32) -> (JobResult, Vec<WindowSample>) {
+        SCRATCH.with(|s| {
+            let (result, _, timeline) = self.simulate(false, false, windows, &mut s.borrow_mut());
+            (result, timeline)
+        })
     }
 
     /// Runs the simulation on the tick-by-tick *reference* kernel loop
@@ -292,7 +309,7 @@ impl JobSpec {
     /// this result byte-identical to [`JobSpec::execute`]; experiment
     /// code never calls it.
     pub fn execute_reference(&self) -> JobResult {
-        self.simulate(false, true, &mut SimScratch::new()).0
+        self.simulate(false, true, 0, &mut SimScratch::new()).0
     }
 
     /// Runs the simulation with event tracing on and returns both the
@@ -300,21 +317,24 @@ impl JobSpec {
     /// always simulates fresh (the trace is not cached), which is what
     /// makes exports identical across cold and warm caches.
     pub fn execute_traced(&self) -> (JobResult, obs::Trace) {
-        self.simulate(true, false, &mut SimScratch::new())
+        let (result, trace, _) = self.simulate(true, false, 0, &mut SimScratch::new());
+        (result, trace)
     }
 
     fn simulate(
         &self,
         trace: bool,
         reference: bool,
+        timeline_windows: u32,
         scratch: &mut SimScratch,
-    ) -> (JobResult, obs::Trace) {
+    ) -> (JobResult, obs::Trace, Vec<WindowSample>) {
         let _span = obs::span::enter("simulate");
         let mut config = KernelConfig {
             duration: self.duration,
             trace,
             reference,
             fidelity: self.fidelity,
+            timeline_windows,
             ..KernelConfig::default()
         };
         if let Some(q) = self.quantum {
@@ -359,9 +379,23 @@ impl JobSpec {
             sched_dropped: report.sched_log.dropped(),
             battery_remaining: report.battery_remaining.unwrap_or(-1.0),
         };
+        // The kernel buckets energy and busy time but leaves deadline
+        // misses to us: only the spec knows its tolerance. A miss lands
+        // in the window its deadline *completed* in.
+        let mut timeline = std::mem::take(&mut report.timeline);
+        if !timeline.is_empty() {
+            let win_us = (timeline[0].end_us - timeline[0].start_us).max(1);
+            let last = timeline.len() - 1;
+            for d in report.deadlines.records() {
+                if !d.met(self.tolerance) {
+                    let slot = ((d.completed_us / win_us) as usize).min(last);
+                    timeline[slot].misses += 1;
+                }
+            }
+        }
         let run_trace = std::mem::take(&mut report.trace);
         scratch.recycle(report);
-        (result, run_trace)
+        (result, run_trace, timeline)
     }
 }
 

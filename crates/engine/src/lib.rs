@@ -40,5 +40,6 @@ pub use engine::{BatchOutcome, BatchStats, Engine, EngineConfig, JobFailure};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use job::{HwSpec, JobResult, JobSpec, WorkloadSpec, SIM_VERSION, SUMMARY_SIM_VERSION};
 pub use journal::Journal;
+pub use kernel_sim::WindowSample;
 pub use key::ContentKey;
 pub use stream::{StreamOutcome, StreamStats};

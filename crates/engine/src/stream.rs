@@ -34,6 +34,7 @@
 use std::time::{Duration, Instant};
 
 use crossbeam::channel;
+use kernel_sim::WindowSample;
 use obs::{RunMetrics, WorkerMetrics};
 
 use crate::engine::{panic_message, Engine, JobFailure};
@@ -105,11 +106,12 @@ impl Engine {
     /// shards at the end.
     ///
     /// `fold` is called once per completed device with the device's
-    /// stream index, spec and result; `merge` folds one worker's
-    /// accumulator into another. Both must be order-independent for
-    /// deterministic output (module docs). The spec iterator is pulled
-    /// lazily from a producer thread with bounded-channel backpressure:
-    /// the stream never materializes.
+    /// stream index, spec, result, and windowed timeline (empty unless
+    /// [`crate::EngineConfig::timeline_windows`] is nonzero); `merge`
+    /// folds one worker's accumulator into another. Both must be
+    /// order-independent for deterministic output (module docs). The
+    /// spec iterator is pulled lazily from a producer thread with
+    /// bounded-channel backpressure: the stream never materializes.
     pub fn run_stream<I, A, F, M>(
         &self,
         batch: &str,
@@ -121,7 +123,7 @@ impl Engine {
         I: IntoIterator<Item = JobSpec>,
         I::IntoIter: Send,
         A: Default + Send,
-        F: Fn(&mut A, u64, &JobSpec, &JobResult) + Sync,
+        F: Fn(&mut A, u64, &JobSpec, &JobResult, &[WindowSample]) + Sync,
         M: Fn(&mut A, A),
     {
         let started = Instant::now();
@@ -129,8 +131,40 @@ impl Engine {
         let workers = self.worker_count().max(1);
         let max_retries = self.config().max_retries;
         let progress = self.config().progress;
+        let timeline_windows = self.config().timeline_windows;
         let specs = specs.into_iter();
         let fold = &fold;
+
+        // Live-telemetry handles, resolved once so the hot paths below
+        // touch only atomics (no-ops while the metrics plane is off).
+        let m_jobs = obs::registry::counter(
+            "engine_jobs_executed_total",
+            "Jobs (fleet: devices) simulated to completion.",
+        );
+        let m_failed = obs::registry::counter(
+            "engine_jobs_failed_total",
+            "Jobs that exhausted their retry budget.",
+        );
+        let m_retries = obs::registry::counter(
+            "engine_job_retries_total",
+            "Job execution attempts beyond the first.",
+        );
+        let m_dropped = obs::registry::counter(
+            "engine_failures_dropped_total",
+            "Failure reports dropped by bounded retention (still counted as failed).",
+        );
+        let g_spec_queue = obs::registry::gauge(
+            "engine_spec_queue_depth",
+            "Specs produced but not yet claimed by a worker.",
+        );
+        let g_tick_queue = obs::registry::gauge(
+            "engine_result_queue_depth",
+            "Completions sent but not yet drained.",
+        );
+        let h_latency = obs::registry::histogram(
+            "engine_job_latency_us",
+            "Per-job wall-clock latency, microseconds.",
+        );
 
         let (spec_tx, spec_rx) =
             channel::bounded::<(u64, JobSpec)>(workers * SPECS_AHEAD_PER_WORKER);
@@ -151,6 +185,9 @@ impl Engine {
                         // Every worker is gone (all dead); stop pulling.
                         break;
                     }
+                    // The vendored channel has no len(); depth is kept
+                    // by pairing this inc with the workers' dec.
+                    g_spec_queue.inc();
                     produced += 1;
                 }
                 drop(span);
@@ -166,7 +203,9 @@ impl Engine {
                 let mut failed = 0u64;
                 let mut failures = Vec::new();
                 let mut last_report = Instant::now();
+                let mut dropped = 0u64;
                 for tick in tick_rx.iter() {
+                    g_tick_queue.dec();
                     match tick {
                         Ok(()) => executed += 1,
                         Err(failure) => {
@@ -174,6 +213,9 @@ impl Engine {
                             obs::error!("engine: {failure}");
                             if failures.len() < MAX_RETAINED_FAILURES {
                                 failures.push(failure);
+                            } else {
+                                dropped += 1;
+                                m_dropped.inc();
                             }
                         }
                     }
@@ -185,20 +227,39 @@ impl Engine {
                     }
                 }
                 drop(span);
-                (executed, failed, failures, obs::span::drain())
+                (executed, failed, failures, dropped, obs::span::drain())
             });
 
             let mut handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
+            for w in 0..workers {
                 let spec_rx = spec_rx.clone();
                 let tick_tx = tick_tx.clone();
                 handles.push(s.spawn(move |_| {
+                    let heartbeat = obs::watchdog::register(w);
+                    let w_jobs = obs::registry::counter(
+                        &format!("engine_worker_jobs_total{{worker=\"{w}\"}}"),
+                        "Jobs completed, by worker.",
+                    );
                     let mut acc = A::default();
                     let mut wm = WorkerMetrics::new();
                     while let Ok((index, spec)) = spec_rx.recv() {
+                        g_spec_queue.dec();
                         let _job_span = obs::span::enter("job");
                         let job_started = Instant::now();
                         let key = spec.key();
+                        if obs::watchdog::active() {
+                            heartbeat.start(&key.to_string());
+                        }
+                        if let Some(stall) = faults.worker_stall(key) {
+                            // Wall-clock latency only: the job's result
+                            // is untouched, but the heartbeat above now
+                            // has something for the watchdog to catch.
+                            obs::debug!(
+                                "engine: injected_stall key={key} ms={}",
+                                stall.as_millis()
+                            );
+                            std::thread::sleep(stall);
+                        }
                         let mut attempt = 0u32;
                         let outcome = loop {
                             attempt += 1;
@@ -210,7 +271,11 @@ impl Engine {
                                          (job {key}, attempt {attempt})"
                                         );
                                     }
-                                    spec.execute()
+                                    if timeline_windows > 0 {
+                                        spec.execute_timeline(timeline_windows)
+                                    } else {
+                                        (spec.execute(), Vec::new())
+                                    }
                                 }));
                             match run {
                                 Ok(r) => break Ok(r),
@@ -219,31 +284,40 @@ impl Engine {
                                 }
                                 Err(_) => {
                                     wm.inc("retries");
+                                    m_retries.inc();
                                     obs::debug!("engine: job_retry key={key} attempt={attempt}");
                                 }
                             }
                         };
                         let tick = match outcome {
-                            Ok(result) => {
+                            Ok((result, timeline)) => {
                                 wm.inc("jobs_executed");
                                 wm.add("sim_us", spec.duration.as_micros());
                                 wm.observe("utilization", result.mean_utilization);
-                                fold(&mut acc, index, &spec, &result);
+                                fold(&mut acc, index, &spec, &result, &timeline);
+                                m_jobs.inc();
+                                w_jobs.inc();
                                 Ok(())
                             }
-                            Err(message) => Err(JobFailure {
-                                index: index as usize,
-                                key,
-                                label: spec.label(),
-                                attempts: attempt,
-                                message,
-                            }),
+                            Err(message) => {
+                                m_failed.inc();
+                                Err(JobFailure {
+                                    index: index as usize,
+                                    key,
+                                    label: spec.label(),
+                                    attempts: attempt,
+                                    message,
+                                })
+                            }
                         };
                         wm.observe_log("job_latency_us", job_started.elapsed().as_secs_f64() * 1e6);
+                        h_latency.observe(job_started.elapsed().as_secs_f64() * 1e6);
                         if tick_tx.send(tick).is_err() {
                             break;
                         }
+                        g_tick_queue.inc();
                     }
+                    heartbeat.idle();
                     (acc, wm, obs::span::drain())
                 }));
             }
@@ -276,7 +350,7 @@ impl Engine {
                 }
             }
             let (total, producer_spans) = producer.join().expect("producer must not panic");
-            let (executed, failed, failures, drainer_spans) =
+            let (executed, failed, failures, failures_dropped, drainer_spans) =
                 drainer.join().expect("drainer must not panic");
             for (name, spans) in [("drainer", drainer_spans), ("producer", producer_spans)] {
                 if !spans.is_empty() {
@@ -289,13 +363,23 @@ impl Engine {
                 executed,
                 failed,
                 failures,
+                failures_dropped,
                 dead_workers,
                 merged_wm,
                 thread_spans,
             )
         });
-        let (acc, total, executed, failed, failures, dead_workers, worker_totals, thread_spans) =
-            scope_outcome.unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        let (
+            acc,
+            total,
+            executed,
+            failed,
+            failures,
+            failures_dropped,
+            dead_workers,
+            worker_totals,
+            thread_spans,
+        ) = scope_outcome.unwrap_or_else(|payload| std::panic::resume_unwind(payload));
 
         let stats = StreamStats {
             total,
@@ -331,6 +415,7 @@ impl Engine {
             total: stats.total,
             executed: stats.executed,
             failed: stats.failed,
+            failures_dropped,
             retries: worker_totals.counter("retries"),
             workers: stats.workers as u64,
             wall_us: stats.elapsed_us,
@@ -404,7 +489,7 @@ mod tests {
         Engine::new(config).run_stream(
             "stream-test",
             spec_stream(n),
-            |acc: &mut FleetSummary, _i, _spec, r| {
+            |acc: &mut FleetSummary, _i, _spec, r, _tl| {
                 acc.record("energy_j", r.energy_j);
                 acc.record("misses", r.misses as f64);
                 acc.bump_devices();
@@ -486,8 +571,14 @@ mod tests {
         assert_eq!(out.stats.failed, 50);
         assert_eq!(out.stats.executed, 0);
         assert_eq!(out.acc.devices(), 0, "failed devices are not folded");
-        // Failure retention is bounded even when everything fails.
+        // Failure retention is bounded even when everything fails —
+        // and the drops are now *reported*, not silent.
         assert_eq!(out.failures.len(), MAX_RETAINED_FAILURES);
+        assert_eq!(
+            out.metrics.failures_dropped,
+            50 - MAX_RETAINED_FAILURES as u64
+        );
+        assert!(out.metrics.to_json().contains("\"failures_dropped\": 18,"));
     }
 
     #[test]
@@ -496,5 +587,77 @@ mod tests {
         assert_eq!(out.stats.total, 0);
         assert_eq!(out.acc, FleetSummary::new());
         assert_eq!(out.stats.devices_per_sec(), 0.0);
+        assert_eq!(out.metrics.failures_dropped, 0);
+    }
+
+    #[test]
+    fn timeline_windows_reach_the_fold_without_changing_results() {
+        let base = summarize(EngineConfig::hermetic(), 6);
+        let out = Engine::new(EngineConfig {
+            timeline_windows: 8,
+            ..EngineConfig::hermetic()
+        })
+        .run_stream(
+            "stream-test",
+            spec_stream(6),
+            |acc: &mut (FleetSummary, Vec<usize>), _i, _spec, r, tl| {
+                acc.0.record("energy_j", r.energy_j);
+                acc.0.record("misses", r.misses as f64);
+                acc.0.bump_devices();
+                acc.1.push(tl.len());
+            },
+            |into, from| {
+                into.0.merge(&from.0);
+                into.1.extend(from.1);
+            },
+        );
+        assert_eq!(out.acc.1.len(), 6, "every device carried a timeline");
+        assert!(out.acc.1.iter().all(|&n| n == 8));
+        assert_eq!(
+            base.acc.encode(),
+            out.acc.0.encode(),
+            "the timeline is derived observation; results must not move"
+        );
+    }
+
+    #[test]
+    fn watchdog_flags_an_injected_stall() {
+        obs::watchdog::set_active(true);
+        let (out, stalls) = std::thread::scope(|s| {
+            let run = s.spawn(|| {
+                summarize(
+                    EngineConfig {
+                        faults: Some(FaultPlan {
+                            stall: 1.0,
+                            stall_ms: 400,
+                            ..FaultPlan::default()
+                        }),
+                        ..EngineConfig::hermetic()
+                    },
+                    2,
+                )
+            });
+            // Patrol with a 50 ms threshold while the 400 ms stalls run.
+            let mut stalls = Vec::new();
+            for _ in 0..200 {
+                stalls.extend(obs::watchdog::patrol(50));
+                if run.is_finished() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            (run.join().expect("stream finishes"), stalls)
+        });
+        obs::watchdog::set_active(false);
+        assert_eq!(out.stats.executed, 2, "stalls delay, never fail");
+        assert_eq!(out.faults.stalls, 2);
+        assert!(
+            !stalls.is_empty(),
+            "watchdog must flag the stalled worker live"
+        );
+        assert!(
+            stalls.iter().all(|st| !st.job.is_empty()),
+            "stall reports carry the in-flight job key"
+        );
     }
 }

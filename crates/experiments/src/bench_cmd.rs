@@ -307,6 +307,25 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
     let _ = writeln!(json, "  \"schema\": \"bench-v1\",");
     let _ = writeln!(json, "  \"seed\": {},", cfg.seed);
     let _ = writeln!(json, "  \"jobs\": {},", cfg.jobs);
+    // Host provenance: a BENCH number is meaningless without knowing
+    // what machine produced it, so record the facts next to the gate.
+    json.push_str("  \"host\": {\n");
+    let cpu = obs::cpu_model().unwrap_or_else(|| "unknown".to_string());
+    let _ = writeln!(
+        json,
+        "    \"cpu_model\": \"{}\",",
+        cpu.replace('\\', "\\\\").replace('"', "\\\"")
+    );
+    let _ = writeln!(json, "    \"cores\": {},", obs::core_count());
+    let _ = writeln!(
+        json,
+        "    \"kernel\": \"{}\"",
+        obs::kernel_version()
+            .unwrap_or_else(|| "unknown".to_string())
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+    );
+    json.push_str("  },\n");
     json.push_str("  \"cold_sweep\": {\n");
     let _ = writeln!(json, "    \"cells\": {},", cold.stats.total);
     let _ = writeln!(json, "    \"executed\": {},", cold.stats.executed);
@@ -620,6 +639,10 @@ mod tests {
         let _l = profiling_lock();
         let report = run(&tiny());
         for section in [
+            "\"host\"",
+            "\"cpu_model\"",
+            "\"cores\"",
+            "\"kernel\"",
             "\"cold_sweep\"",
             "\"warm_sweep\"",
             "\"hot_loop\"",

@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--seed N] [--jobs N] [--resume] [--no-cache] [--quiet | -v]
 //!       [--sweep-secs N] [--trace-secs N] [--optgap-secs N]
-//!       [--fault-plan SPEC] [--profile]
+//!       [--fault-plan SPEC] [--profile] [--metrics-addr HOST:PORT]
 //!       [--baseline FILE] [--bench-tolerance PCT] [--bench-iters N]
 //!       [--devices N] [--device-secs N] [--fidelity full|summary]
 //!       [all | fig3 fig4 fig5 fig6 fig7 fig8 fig9
@@ -20,6 +20,14 @@
 //!
 //! - `--quiet` silences engine chatter on stderr (errors still print);
 //!   `-v` turns on per-job debug records.
+//! - `--metrics-addr HOST:PORT` serves live run telemetry as a
+//!   Prometheus text endpoint at `http://HOST:PORT/metrics` for the
+//!   whole invocation (port `0` picks a free port; the bound address is
+//!   logged, and written to the file named by `REPRO_METRICS_ADDR_FILE`
+//!   when that variable is set). The exporter also arms the per-worker
+//!   stall watchdog (threshold `REPRO_STALL_MS` ms, default 5000). The
+//!   telemetry plane is wall-clock observation only — every
+//!   deterministic artifact is byte-identical with it on or off.
 //! - engine-backed experiments write a `metrics.json` rollup next to
 //!   their results and print a one-line summary.
 //! - `trace` exports the structured event stream of the paper's key
@@ -63,7 +71,10 @@
 //! and folded into mergeable sketches at bounded memory. It writes
 //! `results/fleet/population_summary.txt` — canonical bytes that are
 //! identical for any `--jobs` and any cache state — plus a `fleet.csv`
-//! digest and the usual `metrics.json` (including `peak_rss_bytes`).
+//! digest, a `fleet_timeline.csv` windowed timeline (energy, deadline
+//! misses, utilization and battery drain over simulated time, same
+//! determinism guarantee) and the usual `metrics.json` (including
+//! `peak_rss_bytes`).
 //! Devices simulate at summary fidelity by default (no per-tick series
 //! are materialized); `--fidelity full` restores the historical
 //! series-recording path. The flag also selects the fidelity of
@@ -188,6 +199,20 @@ fn main() {
     }
     if take_bool_flag(&mut args, "--profile") {
         obs::span::set_enabled(true);
+    }
+    if let Some(addr) = take_value_flag(&mut args, "--metrics-addr") {
+        let bound = obs::exporter::start(&addr, obs::exporter::stall_threshold_ms())
+            .unwrap_or_else(|e| {
+                eprintln!("cannot serve --metrics-addr {addr}: {e}");
+                std::process::exit(2);
+            });
+        obs::info!("repro: metrics exporter listening on http://{bound}/metrics");
+        if let Ok(path) = std::env::var("REPRO_METRICS_ADDR_FILE") {
+            std::fs::write(&path, bound.to_string()).unwrap_or_else(|e| {
+                eprintln!("cannot write metrics address to {path}: {e}");
+                std::process::exit(2);
+            });
+        }
     }
     let baseline: Option<String> = take_value_flag(&mut args, "--baseline");
     let bench_tolerance: f64 = take_value_flag(&mut args, "--bench-tolerance")
@@ -494,9 +519,17 @@ fn main() {
                 if let Some(f) = fidelity {
                     population.fidelity = f;
                 }
-                let artifacts = fleet_cmd::run_with(&engine, &population).expect("save fleet");
+                // The fleet run always carries the windowed timeline;
+                // it is derived observation, so the other artifacts
+                // are unchanged by it.
+                let fleet_engine = Engine::new(EngineConfig {
+                    timeline_windows: fleet::TIMELINE_WINDOWS,
+                    ..engine.config().clone()
+                });
+                let artifacts =
+                    fleet_cmd::run_with(&fleet_engine, &population).expect("save fleet");
                 let stats = &artifacts.outcome.stats;
-                print!("{}", fleet::digest(&artifacts.outcome.acc));
+                print!("{}", fleet::digest(&artifacts.outcome.acc.summary));
                 println!(
                     "    engine: {} devices streamed on {} worker(s), {} failed -> {:.0} devices/s",
                     stats.total,
@@ -506,9 +539,10 @@ fn main() {
                 );
                 print_metrics(&artifacts.outcome.metrics);
                 println!(
-                    "    wrote {} (and {})",
+                    "    wrote {} (and {}, {})",
                     artifacts.summary_path.display(),
-                    artifacts.csv_path.display()
+                    artifacts.csv_path.display(),
+                    artifacts.timeline_path.display()
                 );
                 cells_failed += stats.failed as usize;
             }

@@ -26,4 +26,7 @@ pub mod population;
 pub mod run;
 
 pub use population::{DevicePopulation, PopulationConfig};
-pub use run::{digest, fold_result, run, FleetOutcome, OSCILLATION_SWITCHES_PER_SEC};
+pub use run::{
+    digest, fold_result, run, FleetAccum, FleetOutcome, FleetWindow, OSCILLATION_SWITCHES_PER_SEC,
+    TIMELINE_WINDOWS,
+};

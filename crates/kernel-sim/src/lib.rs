@@ -38,6 +38,6 @@ pub mod task;
 
 pub use log::{DeadlineLog, DeadlineRecord, SchedLog, SchedRecord};
 pub use machine::Machine;
-pub use report::KernelReport;
+pub use report::{KernelReport, WindowSample};
 pub use sched::{Kernel, KernelConfig, SimScratch};
 pub use task::{Pid, TaskAction, TaskBehavior, TaskCtx};

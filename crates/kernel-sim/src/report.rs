@@ -6,6 +6,31 @@ use itsy_hw::StepIndex;
 
 use crate::log::{DeadlineLog, SchedLog};
 
+/// One sim-time window of a run's trajectory: where the energy went
+/// and how busy the CPU was between `start_us` and `end_us`. Produced
+/// when [`KernelConfig::timeline_windows`] is nonzero; windows
+/// partition `[0, duration]` and are derived from the same segment
+/// arithmetic in both fidelities, so a device's timeline is
+/// deterministic for a given spec.
+///
+/// [`KernelConfig::timeline_windows`]: crate::KernelConfig
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WindowSample {
+    /// Window start, µs of sim time.
+    pub start_us: u64,
+    /// Window end (exclusive; the last window ends at the run
+    /// duration), µs.
+    pub end_us: u64,
+    /// Energy drawn inside the window, joules.
+    pub energy_j: f64,
+    /// Non-idle time inside the window, µs.
+    pub busy_us: u64,
+    /// Deadline misses completed inside the window. The kernel leaves
+    /// this 0 — deadline records carry tolerances only the caller
+    /// knows — and the engine fills it per spec.
+    pub misses: u64,
+}
+
 /// Everything a run produces: traces, logs, totals.
 #[derive(Debug)]
 pub struct KernelReport {
@@ -77,6 +102,11 @@ pub struct KernelReport {
     /// Summary accumulator: sum of the per-tick clock samples in kHz,
     /// including the t = 0 sample (`ticks + 1` terms in total).
     pub freq_khz_sum: u64,
+    /// Windowed trajectory of the run; empty unless
+    /// [`KernelConfig::timeline_windows`] was nonzero.
+    ///
+    /// [`KernelConfig::timeline_windows`]: crate::KernelConfig
+    pub timeline: Vec<WindowSample>,
 }
 
 impl KernelReport {

@@ -76,6 +76,11 @@ pub struct KernelConfig {
     /// [`KernelConfig::reference`]: a Summary+reference run ticks
     /// through the oracle loop while still skipping emission.
     pub fidelity: SimFidelity,
+    /// Number of equal sim-time windows to fold the run's trajectory
+    /// into ([`KernelReport::timeline`]): per-window energy and busy
+    /// time, derived from the same segment arithmetic in every
+    /// path/fidelity combination. `0` (the default) records nothing.
+    pub timeline_windows: u32,
 }
 
 impl Default for KernelConfig {
@@ -92,7 +97,76 @@ impl Default for KernelConfig {
             sched_log_capacity: None,
             reference: false,
             fidelity: SimFidelity::Full,
+            timeline_windows: 0,
         }
+    }
+}
+
+/// Windowed trajectory accumulator: energy and busy time bucketed into
+/// equal sim-time windows. Spans are split at window boundaries, so a
+/// multi-window uniform span lands exactly where a tick-by-tick run
+/// would put it.
+struct TimelineAcc {
+    win_us: u64,
+    duration_us: u64,
+    energy_j: Vec<f64>,
+    busy_us: Vec<u64>,
+}
+
+impl TimelineAcc {
+    fn new(windows: u32, duration_us: u64) -> Self {
+        TimelineAcc {
+            win_us: duration_us.div_ceil(u64::from(windows)).max(1),
+            duration_us,
+            energy_j: vec![0.0; windows as usize],
+            busy_us: vec![0; windows as usize],
+        }
+    }
+
+    /// Attributes `watts` drawn over `[a_us, b_us)` to the windows it
+    /// crosses. Time past the nominal duration (a trailing stall) folds
+    /// into the last window.
+    fn energy(&mut self, a_us: u64, b_us: u64, watts: f64) {
+        let (win, n) = (self.win_us, self.energy_j.len());
+        let mut t = a_us;
+        while t < b_us {
+            let s = ((t / win) as usize).min(n - 1);
+            let boundary = if s + 1 == n {
+                b_us
+            } else {
+                ((s as u64 + 1) * win).min(b_us)
+            };
+            self.energy_j[s] += watts * (boundary - t) as f64 / 1e6;
+            t = boundary;
+        }
+    }
+
+    /// Attributes non-idle time over `[a_us, b_us)` to its windows.
+    fn busy(&mut self, a_us: u64, b_us: u64) {
+        let (win, n) = (self.win_us, self.busy_us.len());
+        let mut t = a_us;
+        while t < b_us {
+            let s = ((t / win) as usize).min(n - 1);
+            let boundary = if s + 1 == n {
+                b_us
+            } else {
+                ((s as u64 + 1) * win).min(b_us)
+            };
+            self.busy_us[s] += boundary - t;
+            t = boundary;
+        }
+    }
+
+    fn samples(&self) -> Vec<crate::report::WindowSample> {
+        (0..self.energy_j.len())
+            .map(|i| crate::report::WindowSample {
+                start_us: (i as u64 * self.win_us).min(self.duration_us),
+                end_us: ((i as u64 + 1) * self.win_us).min(self.duration_us),
+                energy_j: self.energy_j[i],
+                busy_us: self.busy_us[i],
+                misses: 0,
+            })
+            .collect()
     }
 }
 
@@ -197,6 +271,9 @@ struct LoopState {
     /// Compensated energy accumulator; committed into `totals` at
     /// finish. Only used in summary runs.
     span_energy: SpanEnergy,
+    /// Windowed trajectory accumulator; `None` unless
+    /// [`KernelConfig::timeline_windows`] is nonzero.
+    timeline: Option<TimelineAcc>,
 }
 
 /// A provably-uniform stretch of whole quanta the batched kernel can
@@ -388,6 +465,12 @@ impl Kernel {
             util_sum_us: 0,
             freq_khz_sum: 0,
             span_energy: SpanEnergy::new(),
+            timeline: (self.config.timeline_windows > 0).then(|| {
+                TimelineAcc::new(
+                    self.config.timeline_windows,
+                    self.config.duration.as_micros(),
+                )
+            }),
         };
 
         // Record the initial frequency sample so Figure 8-style plots
@@ -533,6 +616,11 @@ impl Kernel {
                 ls.totals.energy += p.over(span);
                 ls.totals.core_energy += core_p.over(span);
             }
+            if let Some(tl) = ls.timeline.as_mut() {
+                // Energy is drawn even when the battery empties below
+                // and cuts the run short, so it is bucketed first.
+                tl.energy(now.as_micros(), seg_end.as_micros(), p.as_watts());
+            }
             if let Some(batt) = self.machine.battery.as_mut() {
                 batt.drain(p, span);
                 if self.config.stop_when_battery_empty && batt.is_empty() {
@@ -557,6 +645,11 @@ impl Kernel {
                     ls.totals.stalled += span;
                 }
                 CpuMode::Nap => ls.totals.idle += span,
+            }
+            if !matches!(mode, CpuMode::Nap) {
+                if let Some(tl) = ls.timeline.as_mut() {
+                    tl.busy(now.as_micros(), seg_end.as_micros());
+                }
             }
             if !ls.summary {
                 // Only the work-fraction series reads this; a summary
@@ -891,6 +984,15 @@ impl Kernel {
             let span_total = SimDuration::from_micros(executed * q_us);
             ls.span_energy
                 .add(p, core_p, SimDuration::from_micros(energy_quanta * q_us));
+            if let Some(tl) = ls.timeline.as_mut() {
+                // `energy_quanta` quanta drew power (an emptying
+                // battery's final quantum draws energy but adds no
+                // time); `executed` quanta were busy for Work/Spin.
+                tl.energy(start_us, start_us + energy_quanta * q_us, p_w);
+                if !matches!(kind, SpanKind::Idle) {
+                    tl.busy(start_us, start_us + executed * q_us);
+                }
+            }
             if !ls.stopped {
                 ls.now = SimTime::from_micros(start_us + executed * q_us);
             }
@@ -1061,6 +1163,15 @@ impl Kernel {
         // skipped: n identical integer adds of `quantum` are exactly
         // `n * quantum`.
         let span_total = SimDuration::from_micros(executed * q_us);
+        if let Some(tl) = ls.timeline.as_mut() {
+            // An emptying battery's final quantum drew energy without
+            // counting as executed; mirror that in the window buckets.
+            let energy_quanta = executed + u64::from(ls.stopped);
+            tl.energy(start_us, start_us + energy_quanta * q_us, p_w);
+            if !matches!(kind, SpanKind::Idle) {
+                tl.busy(start_us, start_us + executed * q_us);
+            }
+        }
         if !ls.stopped {
             ls.now = SimTime::from_micros(start_us + executed * q_us);
         }
@@ -1130,6 +1241,7 @@ impl Kernel {
             ticks: ls.ticks,
             util_sum_us: ls.util_sum_us,
             freq_khz_sum: ls.freq_khz_sum,
+            timeline: ls.timeline.map(|t| t.samples()).unwrap_or_default(),
         }
     }
 }
@@ -1793,5 +1905,98 @@ mod tests {
             TaskAction::Compute(Work::ZERO)
         })));
         let _ = k.run();
+    }
+
+    /// 5 ms of work at the start of every 20 ms period — a workload
+    /// whose trajectory is *not* uniform across windows.
+    fn periodic_half_load() -> Box<dyn TaskBehavior> {
+        Box::new(FnBehavior::new("period", |ctx| {
+            let period_start = SimTime::from_micros(ctx.now.as_micros() / 20_000 * 20_000);
+            if ctx.now == period_start {
+                TaskAction::Compute(Work::cycles(132_700.0 * 5.0))
+            } else {
+                TaskAction::SleepUntil(period_start + SimDuration::from_millis(20))
+            }
+        }))
+    }
+
+    #[test]
+    fn timeline_partitions_the_run_and_conserves_totals() {
+        // 7 windows over 1 s: deliberately not a divisor, so the last
+        // window is short.
+        let cfg = KernelConfig {
+            timeline_windows: 7,
+            ..config(1)
+        };
+        let mut k = Kernel::new(Machine::itsy(5, DeviceSet::NONE), cfg);
+        k.spawn(periodic_half_load());
+        let r = k.run();
+        assert_eq!(r.timeline.len(), 7);
+        // Windows tile [0, duration] exactly.
+        assert_eq!(r.timeline[0].start_us, 0);
+        assert_eq!(r.timeline.last().unwrap().end_us, 1_000_000);
+        for pair in r.timeline.windows(2) {
+            assert_eq!(pair[0].end_us, pair[1].start_us);
+            assert!(pair[0].start_us < pair[0].end_us);
+        }
+        // Busy time and energy bucketed per window sum back to the
+        // run's totals (energy up to float re-association).
+        let busy_sum: u64 = r.timeline.iter().map(|w| w.busy_us).sum();
+        assert_eq!(busy_sum, r.busy.as_micros());
+        let energy_sum: f64 = r.timeline.iter().map(|w| w.energy_j).sum();
+        let total = r.energy.as_joules();
+        assert!(
+            (energy_sum - total).abs() < 1e-9 * total.max(1.0),
+            "{energy_sum} vs {total}"
+        );
+        // Every window saw some busy time and some energy.
+        assert!(r.timeline.iter().all(|w| w.busy_us > 0));
+        assert!(r.timeline.iter().all(|w| w.energy_j > 0.0));
+        // Kernel leaves misses for the caller.
+        assert!(r.timeline.iter().all(|w| w.misses == 0));
+    }
+
+    #[test]
+    fn timeline_windows_zero_records_nothing() {
+        let mut k = Kernel::new(Machine::itsy(5, DeviceSet::NONE), config(1));
+        k.spawn(periodic_half_load());
+        assert!(k.run().timeline.is_empty());
+    }
+
+    #[test]
+    fn timeline_agrees_across_paths_and_fidelities() {
+        let run = |reference: bool, fidelity: SimFidelity| {
+            let cfg = KernelConfig {
+                timeline_windows: 10,
+                reference,
+                fidelity,
+                ..config(2)
+            };
+            let mut k = Kernel::new(Machine::itsy(5, DeviceSet::NONE), cfg);
+            k.spawn(periodic_half_load());
+            k.install_policy(Box::new(IntervalScheduler::best_from_paper(
+                itsy_hw::ClockTable::sa1100(),
+            )));
+            k.run().timeline
+        };
+        let batched = run(false, SimFidelity::Full);
+        for (which, other) in [
+            ("reference", run(true, SimFidelity::Full)),
+            ("summary", run(false, SimFidelity::Summary)),
+            ("summary+reference", run(true, SimFidelity::Summary)),
+        ] {
+            assert_eq!(batched.len(), other.len());
+            for (a, b) in batched.iter().zip(&other) {
+                assert_eq!((a.start_us, a.end_us), (b.start_us, b.end_us), "{which}");
+                assert_eq!(a.busy_us, b.busy_us, "{which} busy @{}", a.start_us);
+                assert!(
+                    (a.energy_j - b.energy_j).abs() < 1e-9 * a.energy_j.max(1.0),
+                    "{which} energy @{}: {} vs {}",
+                    a.start_us,
+                    a.energy_j,
+                    b.energy_j
+                );
+            }
+        }
     }
 }

@@ -31,6 +31,38 @@ fn parse_vm_hwm(status: &str) -> Option<u64> {
     Some(kb * 1024)
 }
 
+/// The CPU model string (`model name` in `/proc/cpuinfo`), or `None`
+/// where procfs is unavailable. All cores report the same model on the
+/// machines we care about; the first entry wins.
+pub fn cpu_model() -> Option<String> {
+    let cpuinfo = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    parse_cpu_model(&cpuinfo)
+}
+
+/// Extracts the first `model name` value from a `/proc/cpuinfo`
+/// document.
+fn parse_cpu_model(cpuinfo: &str) -> Option<String> {
+    let line = cpuinfo.lines().find(|l| l.starts_with("model name"))?;
+    let (_, value) = line.split_once(':')?;
+    let value = value.trim();
+    (!value.is_empty()).then(|| value.to_string())
+}
+
+/// Logical cores available to this process.
+pub fn core_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The running kernel's release string (`/proc/sys/kernel/osrelease`),
+/// or `None` off Linux.
+pub fn kernel_version() -> Option<String> {
+    let release = std::fs::read_to_string("/proc/sys/kernel/osrelease").ok()?;
+    let release = release.trim();
+    (!release.is_empty()).then(|| release.to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,6 +82,28 @@ mod tests {
         let peak = peak_rss_bytes().expect("procfs available on Linux CI");
         assert!(peak > 100 * 1024, "peak = {peak}");
         assert!(peak < (1u64 << 40), "peak = {peak}");
+    }
+
+    #[test]
+    fn parses_cpuinfo_model_name() {
+        let cpuinfo = "processor\t: 0\nvendor_id\t: GenuineIntel\n\
+                       model name\t: Intel(R) Xeon(R) CPU @ 2.20GHz\nflags\t: fpu\n";
+        assert_eq!(
+            parse_cpu_model(cpuinfo).as_deref(),
+            Some("Intel(R) Xeon(R) CPU @ 2.20GHz")
+        );
+        assert_eq!(parse_cpu_model("processor\t: 0\n"), None);
+        assert_eq!(parse_cpu_model("model name\t:   \n"), None);
+    }
+
+    #[test]
+    fn live_host_probes_report_plausible_facts() {
+        assert!(core_count() >= 1);
+        let kernel = kernel_version().expect("procfs on Linux CI");
+        assert!(!kernel.is_empty());
+        assert!(!kernel.contains('\n'));
+        let model = cpu_model().expect("procfs on Linux CI");
+        assert!(!model.is_empty());
     }
 
     #[test]

@@ -26,21 +26,32 @@
 //!   guards recording into per-thread buffers, merged per batch into a
 //!   [`SpanTree`] and exportable as a Chrome flame-chart track. Off by
 //!   default ([`span::set_enabled`]); `repro --profile` turns it on.
+//! - [`registry`] — the live telemetry plane's process-global metric
+//!   registry: typed counters/gauges/histograms with static handles,
+//!   near-free when disabled, rendered as Prometheus text.
+//! - [`exporter`] — the `/metrics` endpoint over a bare
+//!   `TcpListener` plus the snapshot thread deriving rate gauges;
+//!   `repro --metrics-addr` turns it on.
+//! - [`watchdog`] — per-worker heartbeats and the stall watchdog that
+//!   warns, live, when a worker stops making progress.
 
 pub mod event;
 pub mod export;
+pub mod exporter;
 pub mod host;
 pub mod logger;
 pub mod metrics;
+pub mod registry;
 pub mod run_metrics;
 pub mod span;
+pub mod watchdog;
 
 pub use event::{Event, EventKind, Trace};
 pub use export::{
     export_chrome_json, export_chrome_json_with_spans, export_csv, export_spans_chrome_json,
     merge_traces, MergedEvent,
 };
-pub use host::peak_rss_bytes;
+pub use host::{core_count, cpu_model, kernel_version, peak_rss_bytes};
 pub use logger::{enabled, set_verbosity, verbosity, Level};
 pub use metrics::WorkerMetrics;
 pub use run_metrics::{PolicyMetrics, RunMetrics, StageMetrics};

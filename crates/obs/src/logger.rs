@@ -18,7 +18,8 @@
 
 use std::fmt;
 use std::io::Write;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Mutex;
 
 /// Severity of a log record, most severe first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -76,11 +77,41 @@ pub fn enabled(level: Level) -> bool {
     (level as u8) <= VERBOSITY.load(Ordering::Relaxed)
 }
 
+/// Test-only capture sink. When capturing, each record is formatted
+/// into its own `String` and appended to the buffer in one step — the
+/// same record-at-a-time atomicity the stderr path gets from its
+/// single `write_fmt` under the stderr lock — so concurrency tests can
+/// assert no record ever tears or interleaves.
+static CAPTURING: AtomicBool = AtomicBool::new(false);
+static CAPTURE: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Starts routing records into an in-memory buffer instead of stderr.
+/// For tests; callers must pair with [`capture_end`].
+pub fn capture_begin() {
+    CAPTURE.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    CAPTURING.store(true, Ordering::SeqCst);
+}
+
+/// Stops capturing and returns every record captured, in arrival
+/// order.
+pub fn capture_end() -> Vec<String> {
+    CAPTURING.store(false, Ordering::SeqCst);
+    std::mem::take(&mut CAPTURE.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
 /// Writes one record to stderr if the level passes the verbosity
 /// filter. Prefer the [`error!`](crate::error)/[`warn!`](crate::warn)/
 /// [`info!`](crate::info)/[`debug!`](crate::debug) macros.
 pub fn log(level: Level, args: fmt::Arguments<'_>) {
     if !enabled(level) {
+        return;
+    }
+    if CAPTURING.load(Ordering::Relaxed) {
+        let record = format!("[{}] {}\n", level.tag(), args);
+        CAPTURE
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(record);
         return;
     }
     // One write_fmt per record keeps lines intact when worker threads

@@ -1,0 +1,508 @@
+//! The live metrics registry: typed, process-global, lock-free on the
+//! hot path.
+//!
+//! Simulation artifacts (CSV, `metrics.json`, traces) are deterministic
+//! *post-mortem* evidence; this module is the *live* plane — counters,
+//! gauges and latency histograms that engine and fleet hot paths bump
+//! while a run is in flight, scraped over HTTP by
+//! [`crate::exporter`]. Three rules keep it honest:
+//!
+//! 1. **Wall-clock side channel only.** Nothing in the registry feeds
+//!    back into simulation or deterministic outputs; with telemetry off
+//!    every handle is a no-op behind one relaxed atomic load.
+//! 2. **Lock-free recording.** A handle is a leaked `&'static` pointing
+//!    at atomics; `inc`/`add`/`observe` never take a lock. The registry
+//!    mutex is touched only at registration (once per metric) and at
+//!    scrape time.
+//! 3. **Monotone counters, settable gauges, log-bucketed histograms** —
+//!    the same taxonomy Prometheus expects, so the exporter renders
+//!    without translation.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Master switch. Off by default: every recording call is a single
+/// relaxed load and a branch until `repro --metrics-addr` turns the
+/// plane on.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns live recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the live plane is recording.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A monotonically increasing count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An integer value that can go up and down (queue depths, in-flight
+/// jobs).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    /// Stored as `i64` bits in a `u64` so add/sub wrap coherently.
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        if enabled() {
+            self.value.store(v as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `d` (may be negative via `dec`).
+    pub fn add(&self, d: i64) {
+        if enabled() {
+            self.value.fetch_add(d as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed) as i64
+    }
+}
+
+/// A float-valued gauge for derived rates (jobs/s, cache hit rate),
+/// written by the snapshot thread rather than hot paths.
+#[derive(Debug, Default)]
+pub struct FloatGauge {
+    bits: AtomicU64,
+}
+
+impl FloatGauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        if enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Logarithmic bucket count mirroring [`sim_core::LogHistogram`]:
+/// 16 sub-buckets per power of two, offset so sub-microsecond values
+/// still land in range.
+const SUBBUCKETS: f64 = 16.0;
+/// Bucket index offset: bucket 0 holds `2^(-512/16) = 2^-32` and below.
+const OFFSET: i32 = 512;
+/// Total atomic buckets per histogram (covers `2^-32` .. `2^32`, far
+/// beyond any latency this process can observe).
+const BUCKETS: usize = 1024;
+
+/// A lock-free histogram of positive values (latencies in µs), exported
+/// as Prometheus summary quantiles.
+///
+/// Same geometric bucketing as [`sim_core::LogHistogram`] (16 buckets
+/// per power of two, ~±2% quantile error) but over a fixed array of
+/// atomics so concurrent `observe` never locks. The sum is kept in
+/// 1/1024ths so it survives integer atomics; good to ~0.1% — plenty
+/// for a live dashboard.
+pub struct LiveHistogram {
+    count: AtomicU64,
+    /// Σ value, scaled by 1024 and rounded.
+    sum_1024: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LiveHistogram {
+    fn default() -> Self {
+        LiveHistogram {
+            count: AtomicU64::new(0),
+            sum_1024: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+}
+
+impl LiveHistogram {
+    fn index_of(v: f64) -> usize {
+        if v <= 0.0 || !v.is_finite() {
+            return 0;
+        }
+        let idx = (v.log2() * SUBBUCKETS).floor() as i32 + OFFSET;
+        idx.clamp(0, (BUCKETS - 1) as i32) as usize
+    }
+
+    /// Geometric midpoint of bucket `i` — the value a quantile lookup
+    /// reports.
+    fn midpoint(i: usize) -> f64 {
+        ((i as f64 - OFFSET as f64 + 0.5) / SUBBUCKETS).exp2()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        if !enabled() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() && v > 0.0 {
+            self.sum_1024
+                .fetch_add((v * 1024.0).round() as u64, Ordering::Relaxed);
+        }
+        self.buckets[Self::index_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate Σ of observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum_1024.load(Ordering::Relaxed) as f64 / 1024.0
+    }
+
+    /// The approximate `q`-quantile (`0 < q <= 1`), or `None` when
+    /// empty. Reads a live snapshot; concurrent observes may skew the
+    /// rank by a few counts, which is fine for monitoring.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(Self::midpoint(i));
+            }
+        }
+        // A racing observe bumped count before its bucket; report the
+        // highest occupied bucket.
+        self.buckets
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, b)| b.load(Ordering::Relaxed) > 0)
+            .map(|(i, _)| Self::midpoint(i))
+    }
+}
+
+impl std::fmt::Debug for LiveHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveHistogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+/// The kinds a registered metric can have.
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    FloatGauge(&'static FloatGauge),
+    Histogram(&'static LiveHistogram),
+}
+
+struct Entry {
+    /// Full exposition name, label block included
+    /// (`engine_worker_jobs_total{worker="3"}`).
+    name: String,
+    help: &'static str,
+    kind: Kind,
+}
+
+fn registry() -> &'static Mutex<Vec<Entry>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Entry>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The metric-family part of an exposition name: everything before the
+/// label block.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Registration is idempotent by name: a same-name hit returns the
+/// existing handle; a cross-kind collision is a programming error
+/// worth failing loudly on.
+macro_rules! register {
+    ($name:expr, $help:expr, $ty:ty, $variant:ident) => {{
+        let mut entries = registry().lock().expect("metrics registry lock");
+        if let Some(e) = entries.iter().find(|e| e.name == $name) {
+            match e.kind {
+                Kind::$variant(handle) => return handle,
+                _ => panic!("metric `{}` already registered as a different kind", $name),
+            }
+        }
+        let handle: &'static $ty = Box::leak(Box::new(<$ty>::default()));
+        entries.push(Entry {
+            name: $name.to_string(),
+            help: $help,
+            kind: Kind::$variant(handle),
+        });
+        handle
+    }};
+}
+
+/// Registers (or fetches) a counter by exposition name.
+pub fn counter(name: &str, help: &'static str) -> &'static Counter {
+    register!(name, help, Counter, Counter)
+}
+
+/// Registers (or fetches) an integer gauge.
+pub fn gauge(name: &str, help: &'static str) -> &'static Gauge {
+    register!(name, help, Gauge, Gauge)
+}
+
+/// Registers (or fetches) a float gauge.
+pub fn float_gauge(name: &str, help: &'static str) -> &'static FloatGauge {
+    register!(name, help, FloatGauge, FloatGauge)
+}
+
+/// Registers (or fetches) a latency histogram.
+pub fn histogram(name: &str, help: &'static str) -> &'static LiveHistogram {
+    register!(name, help, LiveHistogram, Histogram)
+}
+
+/// Looks up a counter that may not have been registered yet (the
+/// snapshot thread derives rates from counters hot paths register
+/// lazily).
+pub fn find_counter(name: &str) -> Option<&'static Counter> {
+    let entries = registry().lock().expect("metrics registry lock");
+    entries.iter().find(|e| e.name == name).and_then(|e| {
+        if let Kind::Counter(c) = e.kind {
+            Some(c)
+        } else {
+            None
+        }
+    })
+}
+
+/// Renders every registered metric in Prometheus text exposition format
+/// 0.0.4. Families are sorted by name; `# HELP`/`# TYPE` headers are
+/// emitted once per family; histograms render as summaries with
+/// `quantile` labels plus `_sum`/`_count`.
+pub fn render_prometheus() -> String {
+    use std::fmt::Write as _;
+    let entries = registry().lock().expect("metrics registry lock");
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    order.sort_by(|&a, &b| {
+        base_name(&entries[a].name)
+            .cmp(base_name(&entries[b].name))
+            .then(entries[a].name.cmp(&entries[b].name))
+    });
+    let mut out = String::new();
+    let mut last_family = "";
+    for &i in &order {
+        let e = &entries[i];
+        let family = base_name(&e.name);
+        if family != last_family {
+            let kind = match e.kind {
+                Kind::Counter(_) => "counter",
+                Kind::Gauge(_) | Kind::FloatGauge(_) => "gauge",
+                Kind::Histogram(_) => "summary",
+            };
+            let _ = writeln!(out, "# HELP {family} {}", e.help);
+            let _ = writeln!(out, "# TYPE {family} {kind}");
+            last_family = family;
+        }
+        match e.kind {
+            Kind::Counter(c) => {
+                let _ = writeln!(out, "{} {}", e.name, c.get());
+            }
+            Kind::Gauge(g) => {
+                let _ = writeln!(out, "{} {}", e.name, g.get());
+            }
+            Kind::FloatGauge(g) => {
+                let _ = writeln!(out, "{} {}", e.name, format_float(g.get()));
+            }
+            Kind::Histogram(h) => {
+                for q in [0.5, 0.9, 0.99] {
+                    let v = h.quantile(q).unwrap_or(0.0);
+                    let _ = writeln!(out, "{family}{{quantile=\"{q}\"}} {}", format_float(v));
+                }
+                let _ = writeln!(out, "{family}_sum {}", format_float(h.sum()));
+                let _ = writeln!(out, "{family}_count {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+/// Prometheus float formatting: plain decimal, `NaN`-safe.
+fn format_float(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Serializes tests that flip the process-global recording gate
+/// (shared with the exporter's tests, which also enable it).
+#[cfg(test)]
+pub(crate) fn test_serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use super::test_serial as serial;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let _guard = serial();
+        set_enabled(false);
+        let c = counter("test_disabled_total", "t");
+        c.inc();
+        c.add(5);
+        assert_eq!(c.get(), 0, "disabled counter stays zero");
+        let h = histogram("test_disabled_us", "t");
+        h.observe(10.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn counters_gauges_and_handles_are_idempotent() {
+        let _guard = serial();
+        set_enabled(true);
+        let c = counter("test_jobs_total", "jobs");
+        let c2 = counter("test_jobs_total", "jobs");
+        assert!(std::ptr::eq(c, c2), "same name, same handle");
+        c.inc();
+        c2.add(2);
+        assert_eq!(c.get(), 3);
+
+        let g = gauge("test_depth", "queue depth");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-4);
+        assert_eq!(g.get(), -4);
+
+        let f = float_gauge("test_rate", "rate");
+        f.set(12.25);
+        assert_eq!(f.get(), 12.25);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_the_distribution() {
+        let _guard = serial();
+        set_enabled(true);
+        let h = histogram("test_latency_us", "latency");
+        for i in 1..=1000 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5).expect("data");
+        let p99 = h.quantile(0.99).expect("data");
+        // Geometric buckets: ±~4.4% per bucket edge.
+        assert!((p50 / 500.0 - 1.0).abs() < 0.1, "p50 = {p50}");
+        assert!((p99 / 990.0 - 1.0).abs() < 0.1, "p99 = {p99}");
+        assert!(p50 <= p99);
+        let sum = h.sum();
+        assert!((sum / 500_500.0 - 1.0).abs() < 0.01, "sum = {sum}");
+        set_enabled(false);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let _guard = serial();
+        set_enabled(true);
+        counter("test_render_total", "a counter").add(7);
+        gauge("test_render_depth", "a gauge").set(3);
+        let h = histogram("test_render_us", "a histogram");
+        h.observe(100.0);
+        let per_worker = counter("test_render_worker_total{worker=\"1\"}", "per worker");
+        per_worker.add(2);
+        counter("test_render_worker_total{worker=\"0\"}", "per worker").add(1);
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE test_render_total counter"));
+        assert!(text.contains("test_render_total 7"));
+        assert!(text.contains("# TYPE test_render_depth gauge"));
+        assert!(text.contains("test_render_depth 3"));
+        assert!(text.contains("# TYPE test_render_us summary"));
+        assert!(text.contains("test_render_us{quantile=\"0.5\"}"));
+        assert!(text.contains("test_render_us_count 1"));
+        // One TYPE header per family even with labeled children, and
+        // the children sort within the family.
+        assert_eq!(text.matches("# TYPE test_render_worker_total").count(), 1);
+        let w0 = text.find("worker=\"0\"").expect("worker 0");
+        let w1 = text.find("worker=\"1\"").expect("worker 1");
+        assert!(w0 < w1);
+        // Every non-comment line is `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split_whitespace();
+            let name = parts.next().expect("metric name");
+            let value = parts.next().expect("metric value");
+            assert!(parts.next().is_none(), "extra tokens in `{line}`");
+            assert!(!name.is_empty());
+            assert!(
+                value.parse::<f64>().is_ok() || value == "NaN",
+                "unparseable value in `{line}`"
+            );
+        }
+        set_enabled(false);
+    }
+
+    #[test]
+    fn bucket_index_handles_extremes() {
+        assert_eq!(LiveHistogram::index_of(0.0), 0);
+        assert_eq!(LiveHistogram::index_of(-5.0), 0);
+        assert_eq!(LiveHistogram::index_of(f64::NAN), 0);
+        assert_eq!(LiveHistogram::index_of(f64::INFINITY), 0);
+        assert_eq!(LiveHistogram::index_of(f64::MAX), BUCKETS - 1);
+        // Midpoint of a value's bucket is within one sub-bucket ratio.
+        for v in [0.5, 1.0, 3.0, 1e6] {
+            let m = LiveHistogram::midpoint(LiveHistogram::index_of(v));
+            assert!(
+                (m / v).log2().abs() <= 1.0 / SUBBUCKETS + 1e-9,
+                "v={v} m={m}"
+            );
+        }
+    }
+}

@@ -53,6 +53,10 @@ pub struct RunMetrics {
     pub journal_hits: u64,
     /// Cells that exhausted their retry budget.
     pub failed: u64,
+    /// Failure records dropped once the stream's bounded retention
+    /// filled — `failed` still counts them; only their details are
+    /// gone.
+    pub failures_dropped: u64,
     /// Damaged cache entries quarantined.
     pub quarantined: u64,
     /// Attempts beyond the first, summed over cells.
@@ -168,6 +172,7 @@ impl RunMetrics {
         let _ = writeln!(out, "  \"cache_hits\": {},", self.cache_hits);
         let _ = writeln!(out, "  \"journal_hits\": {},", self.journal_hits);
         let _ = writeln!(out, "  \"failed\": {},", self.failed);
+        let _ = writeln!(out, "  \"failures_dropped\": {},", self.failures_dropped);
         let _ = writeln!(out, "  \"quarantined\": {},", self.quarantined);
         let _ = writeln!(out, "  \"retries\": {},", self.retries);
         let _ = writeln!(out, "  \"workers\": {},", self.workers);
@@ -241,7 +246,7 @@ impl RunMetrics {
 
     /// One-line human summary for the end of a `repro` batch.
     pub fn summary_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "metrics: {} cells, {:.0}% cache hit, {:.1} jobs/s, {:.0}x sim/wall, \
              {} clock + {} voltage switches, {} retries, {} sched drops",
             self.total,
@@ -252,7 +257,11 @@ impl RunMetrics {
             self.voltage_switches,
             self.retries,
             self.sched_dropped
-        )
+        );
+        if self.failures_dropped > 0 {
+            let _ = write!(line, ", {} failure records dropped", self.failures_dropped);
+        }
+        line
     }
 }
 
@@ -398,5 +407,19 @@ mod tests {
         assert!(line.contains("50 cells"));
         assert!(line.contains("20% cache hit"));
         assert!(line.contains("123 clock"));
+        assert!(!line.contains("failure records dropped"));
+    }
+
+    #[test]
+    fn dropped_failures_surface_in_json_and_summary() {
+        let mut m = sample();
+        m.failures_dropped = 18;
+        let json = m.to_json();
+        let failed_at = json.find("\"failed\": 0,").expect("failed key");
+        let dropped_at = json
+            .find("\"failures_dropped\": 18,")
+            .expect("failures_dropped key");
+        assert!(failed_at < dropped_at, "dropped count follows failed");
+        assert!(m.summary_line().contains("18 failure records dropped"));
     }
 }
